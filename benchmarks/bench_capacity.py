@@ -1,0 +1,32 @@
+"""§V capacity claim — broadcast vs pair-wise per-node capacity.
+
+Paper shape: "the broadcast-based file download has an increasing
+per-node transmission capacity as node density increases. Meanwhile,
+the per-node transmission capacity of the pair-wise file download
+decreases as density increases." The two coincide only at n = 2 and
+the broadcast advantage factor is n − 1.
+"""
+
+from repro.analysis.capacity import capacity_table
+
+CLIQUE_SIZES = list(range(2, 33))
+
+
+def test_capacity_vs_density(benchmark):
+    table = benchmark(capacity_table, CLIQUE_SIZES)
+
+    print()
+    print(f"{'n':>4}{'broadcast':>12}{'pairwise':>12}{'gain':>8}")
+    for point in table:
+        print(
+            f"{point.clique_size:>4}{point.broadcast:>12.4f}"
+            f"{point.pairwise:>12.4f}{point.gain:>8.1f}"
+        )
+
+    broadcast = [p.broadcast for p in table]
+    pairwise = [p.pairwise for p in table]
+    assert broadcast == sorted(broadcast)  # increasing in density
+    assert pairwise == sorted(pairwise, reverse=True)  # decreasing
+    assert broadcast[0] == pairwise[0]  # crossover exactly at n = 2
+    assert all(b > p for b, p in zip(broadcast[1:], pairwise[1:]))
+    assert table[-1].gain == table[-1].clique_size - 1

@@ -1,0 +1,22 @@
+"""Fig. 2(a) — DieselNet: delivery ratio vs % of Internet-access nodes.
+
+Paper shape: both ratios increase with the access fraction for every
+protocol; MBT is best and MBT-QM worst.
+"""
+
+from repro.experiments import fig2a
+
+from conftest import assert_mostly_ordered, assert_trend_up, run_panel
+
+
+def test_fig2a_access_fraction(benchmark):
+    result = run_panel(benchmark, fig2a)
+
+    for protocol in ("mbt", "mbt-q", "mbt-qm"):
+        assert_trend_up(result.metadata_series(protocol))
+        assert_trend_up(result.file_series(protocol))
+
+    assert_mostly_ordered(result.metadata_series("mbt"), result.metadata_series("mbt-q"))
+    assert_mostly_ordered(result.metadata_series("mbt-q"), result.metadata_series("mbt-qm"))
+    assert_mostly_ordered(result.file_series("mbt"), result.file_series("mbt-q"))
+    assert_mostly_ordered(result.file_series("mbt-q"), result.file_series("mbt-qm"))

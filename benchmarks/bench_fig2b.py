@@ -1,0 +1,20 @@
+"""Fig. 2(b) — DieselNet: delivery ratio vs new files per day.
+
+Paper shape: ratios decrease as the number of new files per day grows
+(the same contact budgets are spread over a larger catalog); protocol
+ordering MBT >= MBT-Q >= MBT-QM holds.
+"""
+
+from repro.experiments import fig2b
+
+from conftest import assert_mostly_ordered, assert_trend_down, run_panel
+
+
+def test_fig2b_files_per_day(benchmark):
+    result = run_panel(benchmark, fig2b)
+
+    for protocol in ("mbt", "mbt-q", "mbt-qm"):
+        assert_trend_down(result.file_series(protocol))
+
+    assert_mostly_ordered(result.metadata_series("mbt"), result.metadata_series("mbt-qm"))
+    assert_mostly_ordered(result.file_series("mbt"), result.file_series("mbt-qm"))

@@ -1,0 +1,20 @@
+"""Fig. 2(c) — DieselNet: delivery ratio vs file TTL (days).
+
+Paper shape: ratios increase with TTL (files and queries live longer,
+so more contacts can serve them); MBT >= MBT-Q >= MBT-QM.
+"""
+
+from repro.experiments import fig2c
+
+from conftest import assert_mostly_ordered, assert_trend_up, run_panel
+
+
+def test_fig2c_ttl(benchmark):
+    result = run_panel(benchmark, fig2c)
+
+    for protocol in ("mbt", "mbt-q", "mbt-qm"):
+        assert_trend_up(result.metadata_series(protocol))
+        assert_trend_up(result.file_series(protocol))
+
+    assert_mostly_ordered(result.file_series("mbt"), result.file_series("mbt-qm"))
+    assert_mostly_ordered(result.metadata_series("mbt"), result.metadata_series("mbt-qm"))

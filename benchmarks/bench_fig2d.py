@@ -1,0 +1,28 @@
+"""Fig. 2(d) — DieselNet: delivery ratio vs metadata per contact.
+
+Paper shape: ratios increase with the metadata budget. The paper notes
+an *exception* at very small budgets: with few metadata exchanged, the
+globally popularity-driven protocols (MBT-QM, and MBT-Q's metadata
+ratio) can look relatively better — so the ordering assertion here is
+applied to the upper half of the sweep only.
+"""
+
+from repro.experiments import fig2d
+
+from conftest import assert_mostly_ordered, assert_trend_up, run_panel
+
+
+def test_fig2d_metadata_budget(benchmark):
+    result = run_panel(benchmark, fig2d)
+
+    for protocol in ("mbt", "mbt-q"):
+        assert_trend_up(result.metadata_series(protocol))
+
+    # Ordering asserted away from the small-budget exception region.
+    half = len(result.x_values) // 2
+    assert_mostly_ordered(
+        result.metadata_series("mbt")[half:], result.metadata_series("mbt-qm")[half:]
+    )
+    assert_mostly_ordered(
+        result.file_series("mbt")[half:], result.file_series("mbt-qm")[half:]
+    )

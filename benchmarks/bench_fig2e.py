@@ -1,0 +1,20 @@
+"""Fig. 2(e) — DieselNet: delivery ratio vs files per contact.
+
+Paper shape: file delivery increases with the file/piece budget for
+every protocol; metadata delivery is only weakly affected (metadata
+have their own budget); MBT >= MBT-QM.
+"""
+
+from repro.experiments import fig2e
+
+from conftest import assert_mostly_ordered, assert_trend_up, run_panel
+
+
+def test_fig2e_files_budget(benchmark):
+    result = run_panel(benchmark, fig2e)
+
+    for protocol in ("mbt", "mbt-q", "mbt-qm"):
+        assert_trend_up(result.file_series(protocol))
+
+    assert_mostly_ordered(result.file_series("mbt"), result.file_series("mbt-qm"))
+    assert_mostly_ordered(result.file_series("mbt-q"), result.file_series("mbt-qm"))

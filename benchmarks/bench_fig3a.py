@@ -1,0 +1,33 @@
+"""Fig. 3(a) — NUS: delivery ratio vs % of Internet-access nodes.
+
+Paper shape (the headline discovery result): "the file delivery ratio
+of MBT and MBT-Q increases very fast as the percentage of Internet
+access nodes increases; meanwhile, MBT-QM shows no increase because it
+does not have a file discovery process."
+"""
+
+from repro.experiments import fig3a
+
+from conftest import assert_mostly_ordered, assert_trend_up, run_panel
+
+
+def test_fig3a_access_fraction(benchmark):
+    result = run_panel(benchmark, fig3a)
+
+    for protocol in ("mbt", "mbt-q"):
+        assert_trend_up(result.file_series(protocol))
+        assert_trend_up(result.metadata_series(protocol))
+
+    # MBT-QM stays flat: its file ratio moves far less than MBT's.
+    qm = result.file_series("mbt-qm")
+    mbt = result.file_series("mbt")
+    qm_rise = qm[-1] - qm[0]
+    mbt_rise = mbt[-1] - mbt[0]
+    assert qm_rise < mbt_rise / 2, (qm, mbt)
+
+    assert_mostly_ordered(result.file_series("mbt"), result.file_series("mbt-qm"))
+    assert_mostly_ordered(result.file_series("mbt-q"), result.file_series("mbt-qm"))
+
+    # With discovery, file delivery at high access fractions is at
+    # least ~2x MBT-QM's (the paper reports a doubling at 80%).
+    assert mbt[-2] >= 1.8 * qm[-2]

@@ -1,0 +1,19 @@
+"""Fig. 3(b) — NUS: delivery ratio vs new files per day.
+
+Paper shape: same as the DieselNet counterpart — ratios fall as the
+daily catalog grows; discovery-based protocols stay ahead.
+"""
+
+from repro.experiments import fig3b
+
+from conftest import assert_mostly_ordered, assert_trend_down, run_panel
+
+
+def test_fig3b_files_per_day(benchmark):
+    result = run_panel(benchmark, fig3b)
+
+    for protocol in ("mbt", "mbt-q", "mbt-qm"):
+        assert_trend_down(result.file_series(protocol))
+
+    assert_mostly_ordered(result.file_series("mbt"), result.file_series("mbt-qm"))
+    assert_mostly_ordered(result.metadata_series("mbt"), result.metadata_series("mbt-qm"))

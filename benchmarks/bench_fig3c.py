@@ -1,0 +1,19 @@
+"""Fig. 3(c) — NUS: delivery ratio vs file TTL (days).
+
+Paper shape: ratios increase with TTL; discovery keeps MBT ahead of
+MBT-QM across the sweep.
+"""
+
+from repro.experiments import fig3c
+
+from conftest import assert_mostly_ordered, assert_trend_up, run_panel
+
+
+def test_fig3c_ttl(benchmark):
+    result = run_panel(benchmark, fig3c)
+
+    for protocol in ("mbt", "mbt-q", "mbt-qm"):
+        assert_trend_up(result.file_series(protocol))
+
+    assert_mostly_ordered(result.file_series("mbt"), result.file_series("mbt-qm"))
+    assert_mostly_ordered(result.metadata_series("mbt"), result.metadata_series("mbt-qm"))

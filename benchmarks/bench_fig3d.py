@@ -1,0 +1,25 @@
+"""Fig. 3(d) — NUS: delivery ratio vs metadata per contact.
+
+Paper shape: ratios increase with the metadata budget; the very-small-
+budget exception noted for Fig. 2(d) applies here too, so ordering is
+asserted on the upper half of the sweep.
+"""
+
+from repro.experiments import fig3d
+
+from conftest import assert_mostly_ordered, assert_trend_up, run_panel
+
+
+def test_fig3d_metadata_budget(benchmark):
+    result = run_panel(benchmark, fig3d)
+
+    for protocol in ("mbt", "mbt-q"):
+        assert_trend_up(result.metadata_series(protocol))
+
+    half = len(result.x_values) // 2
+    assert_mostly_ordered(
+        result.metadata_series("mbt")[half:], result.metadata_series("mbt-qm")[half:]
+    )
+    assert_mostly_ordered(
+        result.file_series("mbt")[half:], result.file_series("mbt-qm")[half:]
+    )

@@ -1,0 +1,18 @@
+"""Fig. 3(e) — NUS: delivery ratio vs files per contact.
+
+Paper shape: file delivery increases with the piece budget; MBT stays
+ahead of MBT-QM.
+"""
+
+from repro.experiments import fig3e
+
+from conftest import assert_mostly_ordered, assert_trend_up, run_panel
+
+
+def test_fig3e_files_budget(benchmark):
+    result = run_panel(benchmark, fig3e)
+
+    for protocol in ("mbt", "mbt-q", "mbt-qm"):
+        assert_trend_up(result.file_series(protocol))
+
+    assert_mostly_ordered(result.file_series("mbt"), result.file_series("mbt-qm"))

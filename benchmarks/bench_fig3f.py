@@ -1,0 +1,20 @@
+"""Fig. 3(f) — NUS: delivery ratio vs class attendance rate.
+
+Paper shape: higher attendance means larger classroom cliques and more
+contact opportunities, so delivery ratios rise with the attendance
+rate for the discovery-based protocols.
+"""
+
+from repro.experiments import fig3f
+
+from conftest import assert_mostly_ordered, assert_trend_up, run_panel
+
+
+def test_fig3f_attendance_rate(benchmark):
+    result = run_panel(benchmark, fig3f)
+
+    for protocol in ("mbt", "mbt-q"):
+        assert_trend_up(result.file_series(protocol))
+        assert_trend_up(result.metadata_series(protocol))
+
+    assert_mostly_ordered(result.file_series("mbt"), result.file_series("mbt-qm"))

@@ -1,0 +1,54 @@
+"""Ablation — measured delivery vs the space-time oracle bound (§II-A).
+
+The space-time graph gives a bandwidth-free upper bound on any
+protocol's file delivery: a file generated at noon can only reach the
+nodes the contact sequence can reach before the TTL expires. This bench
+computes that bound per generation day and checks MBT's measured file
+delivery (a) never exceeds it and (b) lands within a reasonable
+fraction of it — evidence the protocol is contact-limited, not
+scheduling-limited, at the paper's operating point.
+"""
+
+from statistics import mean
+
+from repro.experiments.workloads import dieselnet_base_config, dieselnet_trace
+from repro.sim.runner import Simulation
+from repro.sim.spacetime import oracle_file_delivery_bound
+from repro.types import DAY, noon_of_day
+
+
+def run_comparison():
+    trace = dieselnet_trace("fast", seed=0)
+    config = dieselnet_base_config(seed=0)
+    simulation = Simulation(trace, config)
+    result = simulation.run()
+
+    ttl = config.ttl_days * DAY
+    days = simulation.num_days()
+    bounds = [
+        oracle_file_delivery_bound(
+            trace, simulation.access_nodes, noon_of_day(day), ttl
+        )
+        for day in range(days)
+        # Only days whose TTL window lies inside the trace are fair.
+        if noon_of_day(day) + ttl <= trace.duration
+    ]
+    return result, bounds
+
+
+def test_mbt_within_oracle_bound(benchmark):
+    result, bounds = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    bound = mean(bounds)
+
+    print()
+    print(f"  oracle reachability bound (mean over days): {bound:.3f}")
+    print(f"  measured MBT file delivery:                 "
+          f"{result.file_delivery_ratio:.3f}")
+    print(f"  efficiency (measured / bound):              "
+          f"{result.file_delivery_ratio / bound:.2f}")
+
+    # No protocol can beat the oracle (small slack: the ratio mixes
+    # days, including edge days the bound average excludes).
+    assert result.file_delivery_ratio <= bound + 0.1
+    # And MBT should realize a substantial share of what is reachable.
+    assert result.file_delivery_ratio >= 0.4 * bound

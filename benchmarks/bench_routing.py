@@ -1,0 +1,79 @@
+"""Substrate — classic DTN unicast routers on the DieselNet trace.
+
+Sanity table for the routing substrate (§II-A related work): epidemic
+is the delivery/delay optimum at maximal transmission cost; binary
+spray-and-wait trades a little delivery for a large cost reduction;
+PRoPHET sits in between once its predictability tables warm up.
+"""
+
+import random
+
+from repro.routing import (
+    DirectDeliveryRouter,
+    EpidemicRouter,
+    MaxPropRouter,
+    Message,
+    ProphetRouter,
+    SprayAndWaitRouter,
+    simulate_routing,
+)
+from repro.traces.dieselnet import DieselNetConfig, generate_dieselnet_trace
+from repro.types import DAY
+
+
+def make_workload():
+    trace = generate_dieselnet_trace(
+        DieselNetConfig(num_buses=20, num_days=8), seed=2
+    )
+    rng = random.Random(2)
+    nodes = list(trace.nodes)
+    messages = []
+    for msg_id in range(120):
+        src, dst = rng.sample(nodes, 2)
+        messages.append(
+            Message(msg_id, src, dst, created_at=rng.uniform(0, 4 * DAY), ttl=3 * DAY)
+        )
+    return trace, messages
+
+
+def run_all():
+    trace, messages = make_workload()
+    routers = {
+        "direct": DirectDeliveryRouter(),
+        "epidemic": EpidemicRouter(),
+        "spray-and-wait": SprayAndWaitRouter(initial_copies=8),
+        "prophet": ProphetRouter(),
+        "maxprop": MaxPropRouter(),
+    }
+    return {
+        name: simulate_routing(trace, messages, router, transfers_per_contact=20)
+        for name, router in routers.items()
+    }
+
+
+def test_routing_baselines(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    print(f"{'router':>16}{'delivery':>10}{'delay h':>9}{'tx':>8}")
+    for name, result in results.items():
+        delay = result.mean_delay / 3600 if result.delivered else float("nan")
+        print(
+            f"{name:>16}{result.delivery_ratio:>10.3f}{delay:>9.1f}"
+            f"{result.transmissions:>8}"
+        )
+
+    direct = results["direct"]
+    epidemic = results["epidemic"]
+    spray = results["spray-and-wait"]
+    prophet = results["prophet"]
+    maxprop = results["maxprop"]
+
+    assert epidemic.delivery_ratio >= spray.delivery_ratio
+    assert epidemic.delivery_ratio >= prophet.delivery_ratio - 0.02
+    assert epidemic.delivery_ratio >= maxprop.delivery_ratio - 0.02
+    assert direct.delivery_ratio <= epidemic.delivery_ratio
+    assert direct.transmissions <= maxprop.transmissions
+    assert spray.transmissions < epidemic.transmissions
+    assert maxprop.transmissions < epidemic.transmissions  # ack clearing
+    assert epidemic.delivery_ratio > 0.6

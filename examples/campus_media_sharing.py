@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Campus media sharing: the paper's motivating scenario on the NUS trace.
+
+Students attend scheduled classes; each classroom session is a
+communication clique. A minority of students have free-WiFi Internet
+access; everyone else relies on cooperative discovery and download.
+This example walks the full user story:
+
+* publish a day of media files on the Internet side and inspect the
+  metadata server's keyword search (what an access node sees),
+* run the MBT simulation over a month of classes,
+* show how a specific non-access student's query was served: which
+  metadata it collected, which pieces arrived, over which contacts.
+
+Run:  python examples/campus_media_sharing.py
+"""
+
+from __future__ import annotations
+
+from repro import ProtocolVariant, Simulation, SimulationConfig
+from repro.catalog.generator import CatalogConfig, CatalogGenerator
+from repro.catalog.server import MetadataServer
+from repro.traces.nus import NUSConfig, generate_nus_trace
+from repro.types import NodeId, noon_of_day
+
+
+def demo_keyword_search() -> None:
+    """What file discovery looks like on the Internet side."""
+    print("== Keyword search against the metadata server ==")
+    generator = CatalogGenerator(
+        CatalogConfig(files_per_day=30, ttl_days=3.0), [NodeId(0)], seed=7
+    )
+    server = MetadataServer()
+    batch = generator.generate_day(0, noon_of_day(0))
+    for record in batch.metadata:
+        server.publish(record)
+
+    for tokens in ({"news"}, {"sports", "highlights"}):
+        hits = server.search(frozenset(tokens), now=noon_of_day(0), limit=3)
+        print(f"  query {sorted(tokens)}: {len(hits)} hit(s)")
+        for record in hits:
+            print(
+                f"    [{record.popularity:.2f}] {record.name}"
+                f"  ({record.publisher}, {record.num_pieces} piece(s))"
+            )
+    print()
+
+
+def run_campus_simulation() -> None:
+    print("== One month of cooperative sharing on campus ==")
+    trace = generate_nus_trace(
+        NUSConfig(num_students=80, num_courses=16, num_days=20), seed=7
+    )
+    print(f"  trace: {trace.stats().describe()}")
+
+    config = SimulationConfig(
+        internet_access_fraction=0.2,
+        files_per_day=30,
+        ttl_days=3.0,
+        metadata_per_contact=3,
+        files_per_contact=3,
+        frequent_contact_max_gap_days=1.0,  # classmates met daily (§VI-A)
+        seed=7,
+    )
+
+    results = {}
+    for variant in ProtocolVariant:
+        simulation = Simulation(trace, config.with_variant(variant))
+        results[variant] = (simulation, simulation.run())
+
+    print(f"\n  {'protocol':>8}{'metadata':>10}{'file':>8}")
+    for variant, (__, result) in results.items():
+        print(
+            f"  {variant.value:>8}{result.metadata_delivery_ratio:>10.3f}"
+            f"{result.file_delivery_ratio:>8.3f}"
+        )
+
+    # Inspect one served query under full MBT.
+    simulation, __ = results[ProtocolVariant.MBT]
+    served = next(
+        (
+            record
+            for record in simulation.metrics.records
+            if not record.access_node and record.file_delivered
+        ),
+        None,
+    )
+    if served is not None:
+        query = served.query
+        wait_meta = served.metadata_delivered_at - query.created_at
+        wait_file = served.file_delivered_at - query.created_at
+        print(
+            f"\n  Student {query.node} searched for {sorted(query.tokens)}:\n"
+            f"    metadata arrived after {wait_meta / 3600:.1f} h,"
+            f" full file after {wait_file / 3600:.1f} h\n"
+            f"    target: {query.target_uri}"
+        )
+        state = simulation.states[query.node]
+        print(
+            f"    node now stores {len(state.metadata)} metadata records and"
+            f" {state.pieces.total_pieces()} file pieces"
+        )
+
+
+def main() -> None:
+    demo_keyword_search()
+    run_campus_simulation()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate any figure panel of the paper from the command line.
+
+Examples:
+
+    python examples/figure_runner.py fig3a
+    python examples/figure_runner.py fig2a fig2b --scale paper --seeds 0 1 2
+    python examples/figure_runner.py --all
+
+``--scale fast`` (default) uses reduced traces so a panel takes
+seconds; ``--scale paper`` approximates the paper's full scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import FIGURES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        choices=[*sorted(FIGURES), []],
+        help="panel ids, e.g. fig2a fig3f",
+    )
+    parser.add_argument("--all", action="store_true", help="run every panel")
+    parser.add_argument(
+        "--scale", choices=("fast", "paper"), default="fast",
+        help="trace scale (default: fast)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="seeds to average over (default: 0)",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "csv", "markdown", "plot"), default="table",
+        help="output format (default: aligned table)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(FIGURES) if args.all else args.figures
+    if not names:
+        parser.error("name at least one figure or pass --all")
+
+    from repro.experiments.report import sweep_to_csv, sweep_to_markdown
+
+    for name in names:
+        started = time.perf_counter()
+        result = FIGURES[name](scale=args.scale, seeds=tuple(args.seeds))
+        elapsed = time.perf_counter() - started
+        if args.format == "csv":
+            print(sweep_to_csv(result), end="")
+        elif args.format == "markdown":
+            print(sweep_to_markdown(result))
+        elif args.format == "plot":
+            from repro.experiments.asciiplot import render_panel
+
+            print(render_panel(result, metric="file"))
+        else:
+            print(result.format_table())
+            print(f"   ({elapsed:.1f}s, scale={args.scale}, seeds={args.seeds})")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: run MBT file sharing over a synthetic DieselNet trace.
+
+This is the smallest end-to-end use of the library:
+
+1. synthesize a bus contact trace,
+2. configure the hybrid-DTN simulation (30% Internet-access nodes,
+   40 new files/day, 3-day TTL),
+3. run all three protocols from the paper and print their delivery
+   ratios.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ProtocolVariant,
+    Simulation,
+    SimulationConfig,
+    generate_dieselnet_trace,
+)
+from repro.traces.dieselnet import DieselNetConfig
+
+
+def main() -> None:
+    trace = generate_dieselnet_trace(
+        DieselNetConfig(num_buses=20, num_days=8), seed=42
+    )
+    print(f"Trace: {trace.stats().describe()}")
+    print()
+
+    config = SimulationConfig(
+        internet_access_fraction=0.3,
+        files_per_day=40,
+        ttl_days=3.0,
+        metadata_per_contact=3,
+        files_per_contact=3,
+        seed=42,
+    )
+
+    print(f"{'protocol':>8}{'metadata ratio':>16}{'file ratio':>12}{'queries':>9}")
+    for variant in ProtocolVariant:
+        result = Simulation(trace, config.with_variant(variant)).run()
+        print(
+            f"{variant.value:>8}"
+            f"{result.metadata_delivery_ratio:>16.3f}"
+            f"{result.file_delivery_ratio:>12.3f}"
+            f"{result.queries_generated:>9}"
+        )
+
+    print()
+    print(
+        "MBT distributes queries and metadata through the DTN, so both\n"
+        "ratios beat MBT-Q (no query distribution) and MBT-QM (metadata\n"
+        "only ride along with file pieces)."
+    )
+
+
+if __name__ == "__main__":
+    main()

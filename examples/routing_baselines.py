@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Classic DTN unicast routing over the same traces (§II substrate).
+
+The paper builds on a decade of DTN routing work; this example runs the
+three canonical routers shipped in :mod:`repro.routing` — epidemic,
+binary spray-and-wait and PRoPHET — over a synthetic DieselNet trace
+and compares delivery ratio, mean delay and transmission cost.
+
+Run:  python examples/routing_baselines.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.routing import (
+    DirectDeliveryRouter,
+    EpidemicRouter,
+    MaxPropRouter,
+    Message,
+    ProphetRouter,
+    SprayAndWaitRouter,
+    simulate_routing,
+)
+from repro.traces.dieselnet import DieselNetConfig, generate_dieselnet_trace
+from repro.types import DAY
+
+
+def main() -> None:
+    trace = generate_dieselnet_trace(
+        DieselNetConfig(num_buses=25, num_days=10), seed=5
+    )
+    print(f"Trace: {trace.stats().describe()}\n")
+
+    rng = random.Random(5)
+    nodes = list(trace.nodes)
+    messages = []
+    for msg_id in range(200):
+        src, dst = rng.sample(nodes, 2)
+        created = rng.uniform(0.0, 5 * DAY)
+        messages.append(Message(msg_id, src, dst, created, ttl=4 * DAY))
+
+    routers = [
+        DirectDeliveryRouter(),
+        EpidemicRouter(),
+        SprayAndWaitRouter(initial_copies=8),
+        ProphetRouter(),
+        MaxPropRouter(),
+    ]
+
+    print(f"{'router':>16}{'delivery':>10}{'mean delay (h)':>16}{'transmissions':>15}")
+    for router in routers:
+        result = simulate_routing(trace, messages, router, transfers_per_contact=20)
+        delay_h = result.mean_delay / 3600 if result.delivered else float("nan")
+        print(
+            f"{router.name:>16}{result.delivery_ratio:>10.3f}"
+            f"{delay_h:>16.1f}{result.transmissions:>15}"
+        )
+
+    print(
+        "\nDirect delivery anchors the bottom; epidemic is the delivery"
+        "\nupper bound at maximal cost; spray-and-wait caps copies;"
+        "\nPRoPHET follows encounter history; MaxProp (the DieselNet"
+        "\npaper's router) adds path costs and delivery acks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Seed robustness: is the protocol ordering real or noise?
+
+Runs the three protocols across several seeds (regenerating the trace
+each time, so trace randomness is part of the spread) and reports
+mean ± standard deviation, plus whether MBT's advantage over MBT-QM is
+separated at one sigma.
+
+Run:  python examples/seed_robustness.py [--seeds 0 1 2 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.mbt import ProtocolVariant
+from repro.experiments.campaign import compare, format_campaign, separated
+from repro.sim.runner import SimulationConfig
+from repro.traces.dieselnet import DieselNetConfig, generate_dieselnet_trace
+
+
+def trace_factory(seed: int):
+    return generate_dieselnet_trace(
+        DieselNetConfig(num_buses=20, num_days=8), seed=seed
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2, 3])
+    args = parser.parse_args(argv)
+
+    base = SimulationConfig(
+        internet_access_fraction=0.3,
+        files_per_day=40,
+        metadata_per_contact=3,
+        files_per_contact=3,
+    )
+    configs = {
+        variant.value: base.with_variant(variant) for variant in ProtocolVariant
+    }
+    results = compare(configs, trace_factory, seeds=args.seeds)
+    print(format_campaign(results))
+
+    by_name = {r.name: r for r in results}
+    mbt, qm = by_name["mbt"], by_name["mbt-qm"]
+    if separated(qm.file, mbt.file):
+        print(
+            "\nMBT vs MBT-QM file delivery is separated at one sigma across"
+            f" {len(args.seeds)} seeds — the ordering is not seed noise."
+        )
+    else:
+        print(
+            "\nOne-sigma intervals overlap at this seed count; add seeds"
+            " for a sharper comparison."
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Trace analysis: inter-contact statistics and the space-time oracle.
+
+Compares the four synthetic trace generators shipped with the library —
+DieselNet (bus schedules), NUS (classroom cliques), random waypoint and
+community mobility — on the metrics the DTN literature uses to
+characterize traces:
+
+* contact volume and clique structure,
+* inter-contact time distribution (mean/median/CV, exponential fit),
+* the space-time reachability oracle: how far data injected at one
+  node can spread within a day.
+
+Run:  python examples/trace_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.intercontact import fit_exponential, intercontact_samples, summarize
+from repro.sim.spacetime import reachability_ratio
+from repro.traces.dieselnet import DieselNetConfig, generate_dieselnet_trace
+from repro.traces.mobility import (
+    CommunityConfig,
+    RandomWaypointConfig,
+    generate_community_trace,
+    generate_random_waypoint_trace,
+)
+from repro.traces.nus import NUSConfig, generate_nus_trace
+from repro.types import DAY
+
+
+def build_traces():
+    return {
+        "dieselnet": generate_dieselnet_trace(
+            DieselNetConfig(num_buses=20, num_days=8), seed=3
+        ),
+        "nus": generate_nus_trace(
+            NUSConfig(num_students=60, num_courses=12, num_days=8), seed=3
+        ),
+        "rwp": generate_random_waypoint_trace(
+            RandomWaypointConfig(
+                num_nodes=20, area_size=5000.0, radio_range=50.0,
+                max_speed=10.0, tick=60.0, duration=8 * DAY,
+            ),
+            seed=3,
+        ),
+        "community": generate_community_trace(
+            CommunityConfig(
+                num_nodes=20, num_communities=4, area_size=5000.0,
+                community_radius=250.0, radio_range=50.0,
+                tick=60.0, duration=8 * DAY,
+            ),
+            seed=3,
+        ),
+    }
+
+
+def main() -> None:
+    traces = build_traces()
+
+    print("== Contact structure ==")
+    for name, trace in traces.items():
+        print(f"  {name:>10}: {trace.stats().describe()}")
+
+    print("\n== Inter-contact times ==")
+    print(f"  {'trace':>10}{'gaps':>8}{'mean h':>9}{'median h':>10}"
+          f"{'cv':>6}{'exp fit err':>13}")
+    for name, trace in traces.items():
+        samples = intercontact_samples(trace)
+        if not samples:
+            print(f"  {name:>10}    (no repeat meetings)")
+            continue
+        stats = summarize(samples)
+        fit = fit_exponential(samples)
+        print(
+            f"  {name:>10}{stats.count:>8}{stats.mean / 3600:>9.2f}"
+            f"{stats.median / 3600:>10.2f}{stats.cv:>6.2f}{fit.ccdf_error:>13.3f}"
+        )
+
+    print("\n== Space-time reachability (from the lowest-id node, 1 day) ==")
+    for name, trace in traces.items():
+        source = trace.nodes[0]
+        ratio = reachability_ratio(
+            trace, [source], start_time=0.0, deadline=DAY
+        )
+        print(f"  {name:>10}: {ratio:.0%} of other nodes reachable in 24 h")
+
+    print(
+        "\nDieselNet gaps fit an exponential closely (Poisson meetings by\n"
+        "construction); NUS gaps are scheduled, so the fit is poor; the\n"
+        "community model sits in between — locality with random timing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""One-shot reproduction validation checklist.
+
+Runs the key sweeps and checks every qualitative claim the paper makes
+about its evaluation, printing a PASS/FAIL line per claim.
+
+Run:  python examples/validate_reproduction.py [--scale paper] [--seeds 0 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.validation import format_report, validate_reproduction
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("fast", "paper"), default="fast")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0])
+    args = parser.parse_args(argv)
+
+    claims = validate_reproduction(scale=args.scale, seeds=tuple(args.seeds))
+    print(format_report(claims))
+    return 0 if all(c.passed for c in claims) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

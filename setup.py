@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The offline toolchain here (setuptools 65, no `wheel`) cannot build
+PEP 660 editable wheels, so `pip install -e .` falls back to the legacy
+`setup.py develop` path, which needs this file. All real metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — reproduction of "Cooperative File Sharing in Hybrid Delay
+Tolerant Networks" (Liu, Wu, Guan, Chen — ICDCS 2011).
+
+The package implements the paper's mobile BitTorrent (MBT) system and
+every substrate it needs: a discrete-event DTN simulator, synthetic
+UMassDieselNet/NUS traces, the Internet-side file/metadata catalog,
+cooperative and tit-for-tat discovery and download policies, and an
+experiment harness that regenerates every figure of the evaluation.
+
+Quickstart
+----------
+>>> from repro import (
+...     SimulationConfig, Simulation, generate_dieselnet_trace,
+... )
+>>> trace = generate_dieselnet_trace(seed=1)
+>>> result = Simulation(trace, SimulationConfig(seed=1)).run()
+>>> 0.0 <= result.file_delivery_ratio <= 1.0
+True
+"""
+
+from repro.core.mbt import MobileBitTorrent, ProtocolConfig, ProtocolVariant, SchedulingMode
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import Simulation, SimulationConfig, run_simulation
+from repro.traces.base import Contact, ContactTrace
+from repro.traces.dieselnet import DieselNetConfig, generate_dieselnet_trace
+from repro.traces.nus import NUSConfig, generate_nus_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MobileBitTorrent",
+    "ProtocolConfig",
+    "ProtocolVariant",
+    "SchedulingMode",
+    "SimulationResult",
+    "Simulation",
+    "SimulationConfig",
+    "run_simulation",
+    "Contact",
+    "ContactTrace",
+    "DieselNetConfig",
+    "generate_dieselnet_trace",
+    "NUSConfig",
+    "generate_nus_trace",
+    "__version__",
+]

@@ -1,0 +1,215 @@
+"""Files, 256 KB pieces, deterministic payloads and SHA-1 checksums.
+
+Per the paper (§III-B): "Large files are divided into pieces of 256KB.
+Each file is associated with a metadata that contains ... the checksums
+of its pieces." Payload bytes are generated deterministically from
+``(uri, piece_index)`` so that any node — and the test-suite — can
+regenerate and verify a piece without shipping real media data (see the
+substitution table in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from repro.types import Uri
+
+#: Piece size from the paper, in bytes.
+PIECE_SIZE: int = 256 * 1024
+
+
+class IntegrityError(ValueError):
+    """Raised when a piece payload fails checksum verification."""
+
+
+def num_pieces_for_size(size_bytes: int) -> int:
+    """Number of 256 KB pieces needed for a file of ``size_bytes``."""
+    if size_bytes <= 0:
+        raise ValueError(f"file size must be positive, got {size_bytes}")
+    return -(-size_bytes // PIECE_SIZE)  # ceiling division
+
+
+def piece_payload(uri: Uri, index: int, length: int = 64) -> bytes:
+    """Deterministic pseudo-random payload for one piece.
+
+    Real pieces are 256 KB; simulations only need payloads long enough
+    to make checksumming meaningful, so ``length`` defaults to a small
+    stand-in. The bytes are a SHA-256 stream keyed by ``(uri, index)``.
+    """
+    if index < 0:
+        raise ValueError(f"piece index must be non-negative, got {index}")
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(f"{uri}#{index}#{counter}".encode()).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def piece_checksum(payload: bytes) -> str:
+    """SHA-1 hex digest of a piece payload (BitTorrent-style, §II-B)."""
+    return hashlib.sha1(payload).hexdigest()
+
+
+def piece_checksums(uri: Uri, num_pieces: int, payload_length: int = 64) -> Tuple[str, ...]:
+    """Checksums for all pieces of a file, in piece order."""
+    return tuple(
+        piece_checksum(piece_payload(uri, index, payload_length))
+        for index in range(num_pieces)
+    )
+
+
+@dataclass(frozen=True)
+class FileDescriptor:
+    """A published file: identity, size, title tokens and lifetime.
+
+    Attributes
+    ----------
+    uri:
+        Globally unique identifier, e.g. ``dtn://fox/f00042``.
+    title_tokens:
+        Tokenized title used for keyword matching.
+    publisher:
+        Publisher name (signs the file's metadata).
+    size_bytes:
+        Total size; defines the piece count.
+    popularity:
+        Probability that any given node is interested in this file,
+        drawn from the paper's truncated-exponential model.
+    created_at, ttl:
+        Generation time and time-to-live in seconds; the file (and
+        queries for it) expire at ``created_at + ttl``.
+    """
+
+    uri: Uri
+    title_tokens: Tuple[str, ...]
+    publisher: str
+    size_bytes: int
+    popularity: float
+    created_at: float
+    ttl: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.popularity <= 1.0:
+            raise ValueError(f"popularity must be in [0,1], got {self.popularity}")
+        if self.ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {self.ttl}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {self.size_bytes}")
+
+    @property
+    def num_pieces(self) -> int:
+        """Number of 256 KB pieces in this file."""
+        return num_pieces_for_size(self.size_bytes)
+
+    @property
+    def expires_at(self) -> float:
+        """Absolute expiry time."""
+        return self.created_at + self.ttl
+
+    @property
+    def token_set(self) -> FrozenSet[str]:
+        """Title tokens as a set, for subset matching."""
+        return frozenset(self.title_tokens)
+
+    def is_live(self, now: float) -> bool:
+        """Whether the file is already generated and not yet expired."""
+        return self.created_at <= now < self.expires_at
+
+
+class PieceStore:
+    """Per-node storage of verified file pieces.
+
+    Pieces are verified against the checksums carried in the file's
+    metadata before being admitted (``add`` raises
+    :class:`IntegrityError` on mismatch). The store answers the two
+    questions the download scheduler asks: which pieces of a URI do I
+    hold, and is the file complete.
+    """
+
+    def __init__(self, payload_length: int = 64) -> None:
+        self._pieces: Dict[Uri, Set[int]] = {}
+        self._completed: Dict[Uri, int] = {}
+        self._payload_length = payload_length
+
+    def __contains__(self, uri: Uri) -> bool:
+        return uri in self._pieces
+
+    @property
+    def uris(self) -> FrozenSet[Uri]:
+        """URIs with at least one stored piece."""
+        return frozenset(self._pieces)
+
+    def pieces_of(self, uri: Uri) -> FrozenSet[int]:
+        """Indices of the stored pieces of ``uri`` (empty if none)."""
+        return frozenset(self._pieces.get(uri, ()))
+
+    def add(self, uri: Uri, index: int, payload: bytes, expected_checksum: str) -> bool:
+        """Verify and store one piece; return True if it was new.
+
+        Raises
+        ------
+        IntegrityError
+            If the payload does not hash to ``expected_checksum``.
+        """
+        if piece_checksum(payload) != expected_checksum:
+            raise IntegrityError(f"piece {uri}#{index} failed checksum verification")
+        held = self._pieces.setdefault(uri, set())
+        if index in held:
+            return False
+        held.add(index)
+        return True
+
+    def add_unverified(self, uri: Uri, index: int) -> bool:
+        """Store a piece by reference (trusted source, e.g. Internet)."""
+        held = self._pieces.setdefault(uri, set())
+        if index in held:
+            return False
+        held.add(index)
+        return True
+
+    def add_whole_file(self, uri: Uri, num_pieces: int) -> None:
+        """Store every piece of a file (Internet direct download)."""
+        self._pieces.setdefault(uri, set()).update(range(num_pieces))
+        self._completed[uri] = num_pieces
+
+    def is_complete(self, uri: Uri, num_pieces: int) -> bool:
+        """Whether all ``num_pieces`` pieces of ``uri`` are stored."""
+        return len(self._pieces.get(uri, ())) >= num_pieces
+
+    def missing_pieces(self, uri: Uri, num_pieces: int) -> Iterator[int]:
+        """Yield the indices of pieces of ``uri`` not yet stored."""
+        held = self._pieces.get(uri, set())
+        for index in range(num_pieces):
+            if index not in held:
+                yield index
+
+    def drop(self, uri: Uri) -> None:
+        """Evict every piece of ``uri`` (e.g. on expiry)."""
+        self._pieces.pop(uri, None)
+        self._completed.pop(uri, None)
+
+    def drop_piece(self, uri: Uri, index: int) -> bool:
+        """Evict one piece; return True if it was stored."""
+        held = self._pieces.get(uri)
+        if held is None or index not in held:
+            return False
+        held.discard(index)
+        if not held:
+            del self._pieces[uri]
+            self._completed.pop(uri, None)
+        return True
+
+    def drop_expired(self, live_uris: FrozenSet[Uri]) -> List[Uri]:
+        """Evict all URIs not in ``live_uris``; return what was dropped."""
+        dead = [uri for uri in self._pieces if uri not in live_uris]
+        for uri in dead:
+            self.drop(uri)
+        return dead
+
+    def total_pieces(self) -> int:
+        """Total number of stored pieces across all URIs."""
+        return sum(len(p) for p in self._pieces.values())

@@ -1,0 +1,167 @@
+"""Metadata records with publisher authentication.
+
+A metadata record (§III-B) carries: (a) the file name, (b) the
+publisher, (c) a human-readable description, (d) the file's URI,
+(e) the checksums of its pieces, and (f) authentication information of
+the metadata against fake publishers. We implement (f) as an HMAC over
+the canonical serialization, keyed by a per-publisher secret held in a
+:class:`PublisherRegistry` — a stand-in for real public-key signatures
+that exercises the same accept/reject code path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.catalog.files import FileDescriptor, piece_checksums
+from repro.types import Uri
+
+
+class AuthenticationError(ValueError):
+    """Raised when a metadata signature does not verify."""
+
+
+@dataclass(frozen=True)
+class Metadata:
+    """Advertisement of a file, distributed independently of the file.
+
+    ``signature`` is filled in by :func:`sign_metadata`; an unsigned
+    record has ``signature=""`` and fails verification.
+    """
+
+    uri: Uri
+    name: str
+    publisher: str
+    description: str
+    checksums: Tuple[str, ...]
+    size_bytes: int
+    created_at: float
+    ttl: float
+    popularity: float = 0.0
+    signature: str = ""
+
+    @property
+    def num_pieces(self) -> int:
+        """Number of pieces the file has (one checksum per piece)."""
+        return len(self.checksums)
+
+    @property
+    def expires_at(self) -> float:
+        """Absolute expiry time of the advertised file."""
+        return self.created_at + self.ttl
+
+    @property
+    def token_set(self) -> FrozenSet[str]:
+        """Tokenized name for keyword matching."""
+        return frozenset(self.name.lower().split())
+
+    def is_live(self, now: float) -> bool:
+        """Whether the advertised file has not yet expired."""
+        return now < self.expires_at
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical serialization covered by the signature.
+
+        Popularity is deliberately excluded: it is a mutable network
+        statistic updated by the server, not part of the publisher's
+        statement.
+        """
+        body = "|".join(
+            (
+                self.uri,
+                self.name,
+                self.publisher,
+                self.description,
+                ",".join(self.checksums),
+                str(self.size_bytes),
+                f"{self.created_at:.6f}",
+                f"{self.ttl:.6f}",
+            )
+        )
+        return body.encode()
+
+    def with_popularity(self, popularity: float) -> "Metadata":
+        """Return a copy with an updated popularity estimate."""
+        return replace(self, popularity=popularity)
+
+
+class PublisherRegistry:
+    """Holds per-publisher signing secrets and trusted identities.
+
+    Every node is assumed to know the trusted publishers (the paper's
+    "well known organizations or companies, such as FOX and ABC").
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self._master_seed = master_seed
+        self._secrets: Dict[str, bytes] = {}
+
+    def register(self, publisher: str) -> None:
+        """Create (or keep) the signing secret of ``publisher``."""
+        if publisher not in self._secrets:
+            raw = f"publisher:{publisher}:{self._master_seed}".encode()
+            self._secrets[publisher] = hashlib.sha256(raw).digest()
+
+    def is_trusted(self, publisher: str) -> bool:
+        return publisher in self._secrets
+
+    def secret_for(self, publisher: str) -> bytes:
+        """Return the signing secret; raises KeyError for unknown names."""
+        return self._secrets[publisher]
+
+    @property
+    def publishers(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._secrets))
+
+
+def sign_metadata(metadata: Metadata, registry: PublisherRegistry) -> Metadata:
+    """Return a signed copy of ``metadata``.
+
+    Raises
+    ------
+    KeyError
+        If the publisher is not registered.
+    """
+    secret = registry.secret_for(metadata.publisher)
+    signature = hmac.new(secret, metadata.canonical_bytes(), hashlib.sha256).hexdigest()
+    return replace(metadata, signature=signature)
+
+
+def verify_metadata(metadata: Metadata, registry: PublisherRegistry) -> bool:
+    """Check the signature against the claimed publisher's secret.
+
+    Returns ``False`` for unknown publishers, unsigned records and any
+    field tampering — the fake-publisher defence of §III-B item (f).
+    """
+    if not registry.is_trusted(metadata.publisher) or not metadata.signature:
+        return False
+    secret = registry.secret_for(metadata.publisher)
+    expected = hmac.new(secret, metadata.canonical_bytes(), hashlib.sha256).hexdigest()
+    return hmac.compare_digest(expected, metadata.signature)
+
+
+def metadata_for_file(
+    descriptor: FileDescriptor,
+    description: str,
+    registry: Optional[PublisherRegistry] = None,
+    payload_length: int = 64,
+) -> Metadata:
+    """Build (and optionally sign) the metadata of a file descriptor."""
+    record = Metadata(
+        uri=descriptor.uri,
+        name=" ".join(descriptor.title_tokens),
+        publisher=descriptor.publisher,
+        description=description,
+        checksums=piece_checksums(descriptor.uri, descriptor.num_pieces, payload_length),
+        size_bytes=descriptor.size_bytes,
+        created_at=descriptor.created_at,
+        ttl=descriptor.ttl,
+        popularity=descriptor.popularity,
+    )
+    if registry is not None:
+        registry.register(descriptor.publisher)
+        record = sign_metadata(record, registry)
+    return record

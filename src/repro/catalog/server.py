@@ -1,0 +1,174 @@
+"""Internet-side servers: metadata search and file serving.
+
+The metadata server (§IV) stores every published metadata record,
+answers ranked keyword searches, serves the most popular records for
+push distribution and keeps the network-wide popularity estimates. The
+file server hands out verified pieces to Internet-access nodes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.catalog.files import FileDescriptor, piece_payload
+from repro.catalog.metadata import Metadata
+from repro.catalog.popularity import PopularityTracker
+from repro.types import NodeId, Uri
+
+
+class MetadataServer:
+    """Central metadata registry with an inverted keyword index.
+
+    Search results are ranked by decreasing popularity, matching the
+    pull-based distribution rule ("the pull-based metadata distribution
+    is based on the popularities of the metadata, which can be
+    calculated from a central server", §IV).
+    """
+
+    def __init__(self, popularity_tracker: Optional[PopularityTracker] = None) -> None:
+        self._records: Dict[Uri, Metadata] = {}
+        self._index: Dict[str, Set[Uri]] = defaultdict(set)
+        self._tracker = popularity_tracker
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, uri: Uri) -> bool:
+        return uri in self._records
+
+    def publish(self, metadata: Metadata) -> None:
+        """Register a metadata record and index its name tokens."""
+        self._records[metadata.uri] = metadata
+        for token in metadata.token_set:
+            self._index[token].add(metadata.uri)
+
+    def get(self, uri: Uri) -> Optional[Metadata]:
+        """Return the record for ``uri`` (with current popularity)."""
+        return self._records.get(uri)
+
+    def expire(self, now: float) -> List[Uri]:
+        """Drop expired records; return the URIs removed."""
+        dead = [uri for uri, md in self._records.items() if not md.is_live(now)]
+        for uri in dead:
+            record = self._records.pop(uri)
+            for token in record.token_set:
+                bucket = self._index.get(token)
+                if bucket is not None:
+                    bucket.discard(uri)
+                    if not bucket:
+                        del self._index[token]
+        return dead
+
+    def search(
+        self,
+        tokens: FrozenSet[str],
+        now: float,
+        limit: Optional[int] = None,
+    ) -> List[Metadata]:
+        """Ranked conjunctive keyword search.
+
+        Returns live records whose name tokens contain every query
+        token, ordered by decreasing popularity (URI as a deterministic
+        tie-break).
+        """
+        if not tokens:
+            return []
+        token_iter = iter(tokens)
+        candidate_uris = set(self._index.get(next(token_iter), ()))
+        for token in token_iter:
+            candidate_uris &= self._index.get(token, set())
+            if not candidate_uris:
+                return []
+        hits = [self._records[uri] for uri in candidate_uris]
+        hits = [md for md in hits if md.is_live(now)]
+        hits.sort(key=lambda md: (-md.popularity, md.uri))
+        return hits[:limit] if limit is not None else hits
+
+    def top_popular(
+        self,
+        now: float,
+        limit: int,
+        exclude: FrozenSet[Uri] = frozenset(),
+    ) -> List[Metadata]:
+        """Most popular live records, for push distribution (§IV)."""
+        hits = [
+            md
+            for uri, md in self._records.items()
+            if md.is_live(now) and uri not in exclude
+        ]
+        hits.sort(key=lambda md: (-md.popularity, md.uri))
+        return hits[:limit]
+
+    def record_request(self, uri: Uri, node: NodeId, now: float) -> None:
+        """Log an access-node request for popularity tracking."""
+        if self._tracker is not None:
+            self._tracker.record_request(uri, node, now)
+
+    def refresh_popularities(self, now: float) -> None:
+        """Replace stored popularities with tracker estimates.
+
+        No-op when the server was built without a tracker (the
+        simulations then keep the generation-time popularity, which is
+        the paper's simplified evaluation model).
+        """
+        if self._tracker is None:
+            return
+        for uri, record in list(self._records.items()):
+            self._records[uri] = record.with_popularity(
+                self._tracker.popularity_of(uri, now)
+            )
+
+    def all_records(self, now: Optional[float] = None) -> List[Metadata]:
+        """All (live, if ``now`` given) records, popularity-ranked."""
+        records = list(self._records.values())
+        if now is not None:
+            records = [md for md in records if md.is_live(now)]
+        records.sort(key=lambda md: (-md.popularity, md.uri))
+        return records
+
+
+class FileServer:
+    """Internet-side piece source for Internet-access nodes."""
+
+    def __init__(self, payload_length: int = 64) -> None:
+        self._files: Dict[Uri, FileDescriptor] = {}
+        self._payload_length = payload_length
+
+    def __contains__(self, uri: Uri) -> bool:
+        return uri in self._files
+
+    def publish(self, descriptor: FileDescriptor) -> None:
+        """Make a file's pieces available for download."""
+        self._files[descriptor.uri] = descriptor
+
+    def descriptor(self, uri: Uri) -> Optional[FileDescriptor]:
+        return self._files.get(uri)
+
+    def fetch_piece(self, uri: Uri, index: int) -> bytes:
+        """Return the payload of one piece.
+
+        Raises
+        ------
+        KeyError
+            If the file is unknown.
+        IndexError
+            If the piece index is out of range.
+        """
+        descriptor = self._files[uri]
+        if not 0 <= index < descriptor.num_pieces:
+            raise IndexError(f"piece {index} out of range for {uri}")
+        return piece_payload(uri, index, self._payload_length)
+
+    def fetch_all(self, uri: Uri) -> Iterable[Tuple[int, bytes]]:
+        """Yield ``(index, payload)`` for every piece of ``uri``."""
+        descriptor = self._files[uri]
+        for index in range(descriptor.num_pieces):
+            yield index, piece_payload(uri, index, self._payload_length)
+
+    def expire(self, now: float) -> List[Uri]:
+        """Drop expired files; return the URIs removed."""
+        dead = [uri for uri, d in self._files.items() if not d.is_live(now)]
+        for uri in dead:
+            del self._files[uri]
+        return dead

@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``        one simulation on a generated trace, printed as a table
+``figures``    regenerate paper figure panels (same engine as the benchmarks)
+``trace``      generate a trace, print its statistics, optionally save it
+``stats``      statistics of a saved trace file
+``capacity``   the §V broadcast-vs-pair-wise capacity table
+
+Examples
+--------
+::
+
+    python -m repro run --trace dieselnet --access 0.3 --files-per-day 40
+    python -m repro figures fig3a --scale fast
+    python -m repro trace --kind nus --seed 7 --out campus.trace
+    python -m repro stats campus.trace
+    python -m repro capacity --max-n 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.capacity import capacity_table
+from repro.core.mbt import ProtocolVariant
+from repro.experiments import FIGURES
+from repro.experiments.workloads import dieselnet_trace, nus_trace
+from repro.sim.runner import Simulation, SimulationConfig
+from repro.traces.base import ContactTrace
+from repro.traces.io import read_trace, write_trace
+from repro.traces.mobility import (
+    CommunityConfig,
+    RandomWaypointConfig,
+    generate_community_trace,
+    generate_random_waypoint_trace,
+)
+
+TRACE_KINDS = ("dieselnet", "nus", "rwp", "community")
+
+
+def _build_trace(kind: str, seed: int, scale: str = "fast") -> ContactTrace:
+    if kind == "dieselnet":
+        return dieselnet_trace(scale, seed)  # type: ignore[arg-type]
+    if kind == "nus":
+        return nus_trace(scale, seed)  # type: ignore[arg-type]
+    if kind == "rwp":
+        return generate_random_waypoint_trace(RandomWaypointConfig(), seed)
+    if kind == "community":
+        return generate_community_trace(CommunityConfig(), seed)
+    raise ValueError(f"unknown trace kind {kind!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = _build_trace(args.trace, args.seed, args.scale)
+    if not args.json:
+        print(f"trace: {trace.stats().describe()}")
+    config = SimulationConfig(
+        internet_access_fraction=args.access,
+        files_per_day=args.files_per_day,
+        ttl_days=args.ttl,
+        metadata_per_contact=args.metadata_per_contact,
+        files_per_contact=args.files_per_contact,
+        tit_for_tat=args.tit_for_tat,
+        selfish_fraction=args.selfish,
+        broadcast=not args.pairwise,
+        frequent_contact_max_gap_days=1.0 if args.trace == "nus" else 3.0,
+        seed=args.seed,
+    )
+    variants = (
+        list(ProtocolVariant)
+        if args.protocol == "all"
+        else [ProtocolVariant(args.protocol)]
+    )
+    if args.json:
+        import json
+
+        payload = {
+            variant.value: Simulation(trace, config.with_variant(variant))
+            .run()
+            .to_dict()
+            for variant in variants
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{'protocol':>8}{'metadata':>10}{'file':>8}{'queries':>9}")
+    for variant in variants:
+        result = Simulation(trace, config.with_variant(variant)).run()
+        print(
+            f"{variant.value:>8}{result.metadata_delivery_ratio:>10.3f}"
+            f"{result.file_delivery_ratio:>8.3f}{result.queries_generated:>9}"
+        )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    names = sorted(FIGURES) if args.all else args.panels
+    if not names:
+        print("name at least one panel or pass --all", file=sys.stderr)
+        return 2
+    for name in names:
+        result = FIGURES[name](scale=args.scale, seeds=tuple(args.seeds))
+        print(result.format_table())
+        print()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = _build_trace(args.kind, args.seed, args.scale)
+    print(trace.stats().describe())
+    if args.out:
+        write_trace(trace, args.out)
+        print(f"written to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = read_trace(args.path)
+    stats = trace.stats()
+    print(stats.describe())
+    frequent = trace.frequent_pairs_by_rate(1.0 / args.frequent_gap_days)
+    print(f"frequent pairs (>=1 contact / {args.frequent_gap_days:g} days): "
+          f"{len(frequent)}")
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    print(f"{'n':>4}{'broadcast':>12}{'pairwise':>12}{'gain':>8}")
+    for point in capacity_table(range(2, args.max_n + 1)):
+        print(
+            f"{point.clique_size:>4}{point.broadcast:>12.4f}"
+            f"{point.pairwise:>12.4f}{point.gain:>8.1f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cooperative file sharing in hybrid DTNs (ICDCS'11 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    run.add_argument("--trace", choices=TRACE_KINDS, default="dieselnet")
+    run.add_argument("--scale", choices=("fast", "paper"), default="fast")
+    run.add_argument("--protocol", default="all",
+                     choices=("all", *(v.value for v in ProtocolVariant)))
+    run.add_argument("--access", type=float, default=0.3)
+    run.add_argument("--files-per-day", type=int, default=40)
+    run.add_argument("--ttl", type=float, default=3.0)
+    run.add_argument("--metadata-per-contact", type=int, default=3)
+    run.add_argument("--files-per-contact", type=int, default=3)
+    run.add_argument("--tit-for-tat", action="store_true")
+    run.add_argument("--selfish", type=float, default=0.0)
+    run.add_argument("--pairwise", action="store_true",
+                     help="use the pair-wise baseline medium")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", action="store_true",
+                     help="emit results as JSON instead of a table")
+    run.set_defaults(handler=_cmd_run)
+
+    figures = sub.add_parser("figures", help="regenerate paper figure panels")
+    figures.add_argument("panels", nargs="*", choices=[*sorted(FIGURES), []])
+    figures.add_argument("--all", action="store_true")
+    figures.add_argument("--scale", choices=("fast", "paper"), default="fast")
+    figures.add_argument("--seeds", type=int, nargs="+", default=[0])
+    figures.set_defaults(handler=_cmd_figures)
+
+    trace = sub.add_parser("trace", help="generate a synthetic trace")
+    trace.add_argument("--kind", choices=TRACE_KINDS, default="dieselnet")
+    trace.add_argument("--scale", choices=("fast", "paper"), default="fast")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", help="write the trace to this path")
+    trace.set_defaults(handler=_cmd_trace)
+
+    stats = sub.add_parser("stats", help="statistics of a saved trace")
+    stats.add_argument("path")
+    stats.add_argument("--frequent-gap-days", type=float, default=3.0)
+    stats.set_defaults(handler=_cmd_stats)
+
+    capacity = sub.add_parser("capacity", help="§V capacity table")
+    capacity.add_argument("--max-n", type=int, default=16)
+    capacity.set_defaults(handler=_cmd_capacity)
+
+    validate = sub.add_parser(
+        "validate", help="run the paper-claims validation checklist"
+    )
+    validate.add_argument("--scale", choices=("fast", "paper"), default="fast")
+    validate.add_argument("--seeds", type=int, nargs="+", default=[0])
+    validate.set_defaults(handler=_cmd_validate)
+
+    return parser
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validation import format_report, validate_reproduction
+
+    claims = validate_reproduction(scale=args.scale, seeds=tuple(args.seeds))
+    print(format_report(claims))
+    return 0 if all(c.passed for c in claims) else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Tit-for-tat credit ledger (§IV-B).
+
+Each node ``u`` maintains a credit value for every other node ``v``,
+proportional to how useful ``v``'s transmissions were to ``u``:
+
+* a new metadata (or piece) matching one of ``u``'s queries earns the
+  sender ``REQUESTED_METADATA_CREDIT`` (= 5, the paper's constant);
+* a new but un-requested item earns the sender its popularity
+  (a value in [0, 1]).
+
+Senders then weigh candidate items by the *sum of the credits of the
+nodes requesting* them, so contributing nodes receive their desired
+items earlier. Duplicates earn nothing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping
+
+from repro.types import NodeId
+
+#: Credit for delivering a new item the receiver asked for (§IV-B).
+REQUESTED_METADATA_CREDIT: float = 5.0
+
+
+class CreditLedger:
+    """Per-node map ``peer -> credit`` with the paper's update rules."""
+
+    def __init__(self, owner: NodeId) -> None:
+        self.owner = owner
+        self._credits: Dict[NodeId, float] = defaultdict(float)
+
+    def credit_of(self, peer: NodeId) -> float:
+        """Current credit of ``peer`` (0.0 if never seen)."""
+        return self._credits.get(peer, 0.0)
+
+    def reward_requested(self, sender: NodeId) -> None:
+        """Sender delivered a new item the owner had requested."""
+        if sender == self.owner:
+            return
+        self._credits[sender] += REQUESTED_METADATA_CREDIT
+
+    def reward_unrequested(self, sender: NodeId, popularity: float) -> None:
+        """Sender delivered a new item the owner had not requested."""
+        if sender == self.owner:
+            return
+        if not 0.0 <= popularity <= 1.0:
+            raise ValueError(f"popularity must be in [0,1], got {popularity}")
+        self._credits[sender] += popularity
+
+    def weight_of_requesters(self, requesters: Iterable[NodeId]) -> float:
+        """Sum of the owner's credits for ``requesters`` (§IV-B rule)."""
+        return sum(self._credits.get(peer, 0.0) for peer in requesters)
+
+    def as_mapping(self) -> Mapping[NodeId, float]:
+        """Read-only snapshot of the ledger."""
+        return dict(self._credits)
+
+    def total_granted(self) -> float:
+        """Sum of all credits the owner has granted."""
+        return sum(self._credits.values())

@@ -1,0 +1,185 @@
+"""Cooperative file discovery: metadata selection policies (§IV).
+
+During a contact, the clique has a budget of metadata transmissions.
+Which records go on the air, and in what order, is the discovery
+policy:
+
+* **Cooperative** (§IV-A): two phases. Phase one sends metadata that
+  match the queries of connected nodes — those matching *more* nodes'
+  queries first, popularity breaking ties. Phase two sends the
+  remaining metadata in decreasing popularity.
+* **Tit-for-tat** (§IV-B): each candidate is weighed by the *sum of
+  the credits of the nodes requesting it* from the sender's ledger;
+  un-requested records fall back to popularity order.
+
+This module is pure policy: it builds and ranks candidates. The phase
+loop that spends the budget lives in :mod:`repro.core.mbt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Set, Tuple
+
+from repro.catalog.metadata import Metadata
+from repro.core.node import NodeState
+from repro.types import NodeId, Uri
+
+
+@dataclass(frozen=True)
+class MetadataCandidate:
+    """One metadata record that could be broadcast in the clique.
+
+    Attributes
+    ----------
+    metadata:
+        The record.
+    holders:
+        Clique members that can transmit it.
+    own_requesters:
+        Members whose *own* queries match the record and who lack it —
+        delivering to them satisfies a user directly.
+    proxy_requesters:
+        Members requesting it on behalf of a frequent contact (carried
+        queries, full MBT only); they collect the record to pass on.
+    missing:
+        Members that do not hold the record (superset of requesters).
+    """
+
+    metadata: Metadata
+    holders: FrozenSet[NodeId]
+    own_requesters: FrozenSet[NodeId]
+    proxy_requesters: FrozenSet[NodeId]
+    missing: FrozenSet[NodeId]
+
+    @property
+    def requesters(self) -> FrozenSet[NodeId]:
+        """All requesters, own and proxy."""
+        return self.own_requesters | self.proxy_requesters
+
+    @property
+    def requested(self) -> bool:
+        return bool(self.own_requesters or self.proxy_requesters)
+
+
+def advertised_query_tokens(
+    states: Mapping[NodeId, NodeState], now: float, include_foreign: bool
+) -> Dict[NodeId, Tuple[FrozenSet[str], ...]]:
+    """Query token sets each member advertises in its hello."""
+    return {
+        node: state.query_tokens(now, include_foreign)
+        for node, state in states.items()
+    }
+
+
+def build_metadata_candidates(
+    states: Mapping[NodeId, NodeState],
+    now: float,
+    include_foreign: bool,
+) -> List[MetadataCandidate]:
+    """Enumerate every useful metadata transmission in the clique.
+
+    A record is a candidate when at least one member holds it and at
+    least one member lacks it. Requesters are computed from the query
+    tokens the members advertise in their hellos; under full MBT
+    (``include_foreign``) members also request on behalf of the
+    frequent contacts whose queries they carry.
+    """
+    own_tokens = {n: s.own_query_tokens(now) for n, s in states.items()}
+    if include_foreign:
+        foreign_tokens = {n: s.foreign_query_tokens(now) for n, s in states.items()}
+    else:
+        foreign_tokens = {n: () for n in states}
+
+    holders_by_uri: Dict[Uri, Set[NodeId]] = {}
+    record_by_uri: Dict[Uri, Metadata] = {}
+    for node, state in states.items():
+        for record in state.metadata.records():
+            if not record.is_live(now):
+                continue
+            holders_by_uri.setdefault(record.uri, set()).add(node)
+            record_by_uri[record.uri] = record
+
+    members = frozenset(states)
+    candidates: List[MetadataCandidate] = []
+    for uri, holders in holders_by_uri.items():
+        missing = members - holders
+        if not missing:
+            continue
+        record = record_by_uri[uri]
+        own = frozenset(
+            node
+            for node in missing
+            if any(tokens <= record.token_set for tokens in own_tokens[node])
+        )
+        proxy = frozenset(
+            node
+            for node in missing - own
+            if any(tokens <= record.token_set for tokens in foreign_tokens[node])
+        )
+        candidates.append(
+            MetadataCandidate(
+                metadata=record,
+                holders=frozenset(holders),
+                own_requesters=own,
+                proxy_requesters=proxy,
+                missing=frozenset(missing),
+            )
+        )
+    return candidates
+
+
+def cooperative_rank_key(candidate: MetadataCandidate) -> Tuple:
+    """Two-phase cooperative order (§IV-A).
+
+    Requested records first — "those that match the query strings of
+    more nodes themselves are sent [first]": records matching members'
+    *own* queries outrank records only requested on behalf of absent
+    frequent contacts. Popularity breaks ties; un-requested records
+    follow in decreasing popularity. URI is the deterministic final
+    tie-break.
+    """
+    phase = 0 if candidate.requested else 1
+    return (
+        phase,
+        -len(candidate.own_requesters),
+        -len(candidate.proxy_requesters),
+        -candidate.metadata.popularity,
+        candidate.metadata.uri,
+    )
+
+
+def tit_for_tat_rank_key(candidate: MetadataCandidate, sender: NodeState) -> Tuple:
+    """Credit-weighted order for a specific sender (§IV-B).
+
+    Primary key: the sum of the sender's credits for the requesters.
+    Requested records still precede un-requested at equal weight, and
+    popularity breaks remaining ties.
+    """
+    weight = sender.credits.weight_of_requesters(candidate.requesters)
+    phase = 0 if candidate.requested else 1
+    return (
+        -weight,
+        phase,
+        -candidate.metadata.popularity,
+        candidate.metadata.uri,
+    )
+
+
+def select_cooperative(
+    candidates: Sequence[MetadataCandidate],
+) -> List[MetadataCandidate]:
+    """Globally rank candidates for the coordinator (§IV-A)."""
+    return sorted(candidates, key=cooperative_rank_key)
+
+
+def select_for_sender(
+    candidates: Sequence[MetadataCandidate],
+    sender: NodeState,
+    tit_for_tat: bool,
+) -> List[MetadataCandidate]:
+    """Rank the candidates a given sender can transmit."""
+    own = [c for c in candidates if sender.node in c.holders]
+    if tit_for_tat:
+        return sorted(own, key=lambda c: tit_for_tat_rank_key(c, sender))
+    return sorted(own, key=cooperative_rank_key)

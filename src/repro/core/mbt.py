@@ -1,0 +1,687 @@
+"""The MBT protocol engine: contact processing and Internet syncs.
+
+Ties together discovery (§IV) and download (§V) for the three
+evaluated protocol variants (§VI-A):
+
+* **MBT** — nodes store and advertise the queries of their frequent
+  contacting nodes, distribute metadata, and distribute file pieces.
+* **MBT-Q** — no query distribution: nodes advertise only their own
+  queries (they "can only pull metadata from other nodes").
+* **MBT-QM** — no query and no independent metadata distribution: the
+  contact has no metadata phase, and metadata spread only attached to
+  file pieces (the prior content-distribution model the paper compares
+  against).
+
+Scheduling modes:
+
+* ``COORDINATOR`` (cooperative, §IV-A/§V-A): an elected coordinator
+  picks the globally best transmission each slot.
+* ``CYCLIC`` (selfish-tolerant, §IV-B/§V-B): members transmit in the
+  agreed-upon seeded cyclic order; each sender picks its own best item
+  (credit-weighted under tit-for-tat). Selfish nodes skip their turn.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.catalog.files import piece_payload
+from repro.catalog.generator import DailyBatch
+from repro.catalog.metadata import Metadata
+from repro.catalog.server import FileServer, MetadataServer
+from repro.core import discovery, download
+from repro.core.coordinator import cyclic_order, elect_coordinator
+from repro.core.node import NodeState
+from repro.net.medium import BroadcastMedium, ContactBudget, PairwiseMedium, TransmissionMedium
+from repro.sim.metrics import MetricsCollector
+from repro.traces.base import Contact
+from repro.types import NodeId, Uri
+
+
+class ProtocolVariant(enum.Enum):
+    """The three protocols compared in §VI."""
+
+    MBT = "mbt"
+    MBT_Q = "mbt-q"
+    MBT_QM = "mbt-qm"
+
+    @property
+    def distributes_queries(self) -> bool:
+        return self is ProtocolVariant.MBT
+
+    @property
+    def distributes_metadata(self) -> bool:
+        return self is not ProtocolVariant.MBT_QM
+
+
+class SchedulingMode(enum.Enum):
+    """Who decides the broadcast order inside a clique (§V)."""
+
+    COORDINATOR = "coordinator"
+    CYCLIC = "cyclic"
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Static protocol parameters shared by every node."""
+
+    variant: ProtocolVariant = ProtocolVariant.MBT
+    budget: ContactBudget = field(default_factory=lambda: ContactBudget(5, 5))
+    tit_for_tat: bool = False
+    scheduling: Optional[SchedulingMode] = None
+    broadcast: bool = True
+    #: Internet-sync limits: metadata pulled per query, pushed per sync,
+    #: and popular files downloaded per sync for seeding.
+    pull_limit: int = 5
+    push_limit: int = 10
+    popular_file_downloads: int = 2
+    #: Files an access node proxy-downloads per sync on behalf of the
+    #: DTN peers whose requests it heard (0 disables cooperation).
+    proxy_downloads: int = 5
+    #: Re-derive communication cliques from synthesized hello beacons
+    #: (§III-B/§V protocol path) instead of trusting contact membership.
+    derive_cliques: bool = False
+    #: Derive per-contact budgets from contact duration and channel
+    #: bandwidth instead of the paper's fixed counts. Short contacts
+    #: then carry discovery only (§V: "file discovery uses the starting
+    #: period of each connection") while long contacts move many pieces.
+    duration_budgets: bool = False
+    #: Effective channel bandwidth for duration-derived budgets.
+    bandwidth_bytes_per_s: float = 100_000.0
+    #: Share of a contact's byte volume reserved for the discovery phase.
+    metadata_share: float = 0.2
+    #: The paper's future-work extension (§IV-B footnote: "Peers can
+    #: still be choked if encryption is used"): piece payloads are
+    #: encrypted per transmission and the key is released only to
+    #: *unchoked* receivers — peers that have earned credit with the
+    #: sender. Discovery stays open (metadata are the advertisement
+    #: channel), which is also the bootstrap: sending useful metadata
+    #: earns the credit that unchokes the piece channel. Only
+    #: meaningful together with tit_for_tat.
+    encrypted_choking: bool = False
+    #: Credit a receiver must *exceed* with the sender to be unchoked.
+    #: The default (0.0, strict) admits any peer that ever contributed
+    #: anything — one metadata transfer suffices — and blocks exactly
+    #: the pure free-riders. Raise it to demand sustained contribution.
+    choke_credit_threshold: float = 0.0
+    #: How long heard peer requests are remembered (seconds).
+    request_memory: float = 3 * 86400.0
+    payload_length: int = 64
+
+    def effective_scheduling(self) -> SchedulingMode:
+        """Default: coordinator when altruistic, cyclic under TFT (§V)."""
+        if self.scheduling is not None:
+            return self.scheduling
+        return SchedulingMode.CYCLIC if self.tit_for_tat else SchedulingMode.COORDINATOR
+
+    def medium(self) -> TransmissionMedium:
+        return BroadcastMedium() if self.broadcast else PairwiseMedium()
+
+
+class _MutableMetaCandidate:
+    """Scheduler-internal mutable view of a metadata candidate."""
+
+    __slots__ = ("metadata", "holders", "own_requesters", "proxy_requesters", "missing")
+
+    def __init__(self, cand: discovery.MetadataCandidate) -> None:
+        self.metadata = cand.metadata
+        self.holders: Set[NodeId] = set(cand.holders)
+        self.own_requesters: Set[NodeId] = set(cand.own_requesters)
+        self.proxy_requesters: Set[NodeId] = set(cand.proxy_requesters)
+        self.missing: Set[NodeId] = set(cand.missing)
+
+    @property
+    def requesters(self) -> Set[NodeId]:
+        return self.own_requesters | self.proxy_requesters
+
+
+class _MutablePieceCandidate:
+    """Scheduler-internal mutable view of a piece candidate."""
+
+    __slots__ = ("metadata", "index", "holders", "requesters", "missing")
+
+    def __init__(self, cand: download.PieceCandidate) -> None:
+        self.metadata = cand.metadata
+        self.index = cand.index
+        self.holders: Set[NodeId] = set(cand.holders)
+        self.requesters: Set[NodeId] = set(cand.requesters)
+        self.missing: Set[NodeId] = set(cand.missing)
+
+    @property
+    def uri(self) -> Uri:
+        return self.metadata.uri
+
+
+class MobileBitTorrent:
+    """Protocol engine driving every node's discovery and download."""
+
+    def __init__(
+        self,
+        states: Mapping[NodeId, NodeState],
+        metadata_server: MetadataServer,
+        file_server: FileServer,
+        metrics: MetricsCollector,
+        config: ProtocolConfig,
+    ) -> None:
+        self._states = dict(states)
+        self._metadata_server = metadata_server
+        self._file_server = file_server
+        self._metrics = metrics
+        self._config = config
+        self._medium = config.medium()
+
+    @property
+    def states(self) -> Mapping[NodeId, NodeState]:
+        return self._states
+
+    @property
+    def config(self) -> ProtocolConfig:
+        return self._config
+
+    # ------------------------------------------------------------------ catalog
+
+    def on_daily_batch(self, batch: DailyBatch, now: float) -> None:
+        """Publish a day's files and hand out the generated queries."""
+        for descriptor in batch.descriptors:
+            self._file_server.publish(descriptor)
+        for record in batch.metadata:
+            self._metadata_server.publish(record)
+        for query in batch.queries:
+            state = self._states[query.node]
+            state.add_own_query(query)
+            self._metrics.register_query(query, access_node=state.internet_access)
+
+    def expire_all(self, now: float) -> None:
+        """Drop expired records everywhere (servers and nodes)."""
+        self._metadata_server.expire(now)
+        self._file_server.expire(now)
+        for state in self._states.values():
+            state.expire(now)
+
+    # ------------------------------------------------------------------ internet
+
+    def internet_sync(self, node: NodeId, now: float) -> None:
+        """One Internet session of an access node (pull, download, push).
+
+        Non-access nodes are silently ignored so callers can iterate
+        over the whole population.
+        """
+        state = self._states[node]
+        if not state.internet_access:
+            return
+        state.stats.internet_syncs += 1
+
+        # Pull: metadata matching own queries (and foreign ones under MBT).
+        own = state.own_queries(now)
+        for query in own:
+            self._metadata_server.record_request(query.target_uri, node, now)
+            for record in self._metadata_server.search(
+                query.tokens, now, limit=self._config.pull_limit
+            ):
+                self._accept_metadata(state, record, now)
+        if self._config.variant.distributes_queries:
+            for query in state.foreign_queries(now):
+                for record in self._metadata_server.search(
+                    query.tokens, now, limit=self._config.pull_limit
+                ):
+                    self._accept_metadata(state, record, now)
+
+        # Download: access nodes have enough bandwidth for what they need.
+        for uri in state.wanted_uris(now):
+            self._download_from_internet(state, uri, now)
+
+        # Push: the server continues with popular metadata (§IV), except
+        # under MBT-QM where independent metadata distribution is off.
+        if self._config.variant.distributes_metadata:
+            for record in self._metadata_server.top_popular(
+                now, self._config.push_limit, exclude=state.metadata.uris
+            ):
+                self._accept_metadata(state, record, now)
+
+        # Cooperative proxy downloads: fetch the files DTN peers were
+        # heard requesting, most-demanded first. This is the hybrid-DTN
+        # payoff — nodes without Internet access get their files
+        # "with the help of other nodes" (§III-A). Requests only exist
+        # where discovery delivered metadata, so MBT-QM barely uses it.
+        proxied = 0
+        for uri in state.top_peer_requests(now, self._config.request_memory):
+            if proxied >= self._config.proxy_downloads:
+                break
+            record = self._metadata_server.get(uri)
+            if record is None or not record.is_live(now):
+                continue
+            if state.pieces.is_complete(uri, record.num_pieces):
+                continue
+            self._accept_metadata(state, record, now)
+            self._download_from_internet(state, uri, now)
+            proxied += 1
+
+        # Under full MBT, also fetch the files matching the queries
+        # carried for frequent contacts (the node collects on their
+        # behalf, §IV).
+        if self._config.variant.distributes_queries and proxied < self._config.proxy_downloads:
+            for query in state.foreign_queries(now):
+                if proxied >= self._config.proxy_downloads:
+                    break
+                for record in self._metadata_server.search(query.tokens, now, limit=1):
+                    if state.pieces.is_complete(record.uri, record.num_pieces):
+                        continue
+                    self._accept_metadata(state, record, now)
+                    self._download_from_internet(state, record.uri, now)
+                    proxied += 1
+
+        # Seed the DTN: grab a few globally popular files as well.
+        seeded = 0
+        for record in self._metadata_server.top_popular(now, self._config.push_limit):
+            if seeded >= self._config.popular_file_downloads:
+                break
+            if not state.pieces.is_complete(record.uri, record.num_pieces):
+                self._accept_metadata(state, record, now, force=True)
+                self._download_from_internet(state, record.uri, now)
+                seeded += 1
+
+    def _download_from_internet(self, state: NodeState, uri: Uri, now: float) -> None:
+        record = state.metadata.get(uri)
+        if record is None or uri not in self._file_server:
+            return
+        state.receive_whole_file(uri, record.num_pieces)
+        state.stats.files_completed += 1
+        self._metrics.on_file_complete(state.node, uri, now)
+
+    def _accept_metadata(
+        self, state: NodeState, record: Metadata, now: float, force: bool = False
+    ) -> bool:
+        """Store a record from the Internet (always trusted/signed)."""
+        new = state.accept_metadata(record, now)
+        if new:
+            self._metrics.on_metadata(state.node, record.uri, now)
+        return new
+
+    # ------------------------------------------------------------------ contacts
+
+    def handle_contact(self, contact: Contact, now: float) -> None:
+        """Process one contact: hellos, discovery phase, download phase."""
+        if self._config.derive_cliques:
+            cliques = self._cliques_via_hellos(contact, now)
+        else:
+            cliques = [contact.members]
+        budget = self._contact_budget(contact)
+        for members in cliques:
+            states = {node: self._states[node] for node in members}
+            self._exchange_hellos(states, now)
+            if self._config.variant.distributes_metadata:
+                self._run_metadata_phase(states, members, now, budget.metadata)
+            self._run_piece_phase(states, members, now, budget.pieces)
+
+    def _contact_budget(self, contact: Contact) -> ContactBudget:
+        """Fixed per-contact budget, or one derived from the duration."""
+        if not self._config.duration_budgets:
+            return self._config.budget
+        from repro.net.medium import budget_from_duration
+        from repro.net.messages import METADATA_BASE_SIZE
+        from repro.catalog.files import PIECE_SIZE
+
+        return budget_from_duration(
+            duration=contact.duration,
+            bandwidth_bytes_per_s=self._config.bandwidth_bytes_per_s,
+            metadata_size=METADATA_BASE_SIZE,
+            piece_size=PIECE_SIZE,
+            metadata_share=self._config.metadata_share,
+        )
+
+    def _cliques_via_hellos(self, contact: Contact, now: float) -> List[FrozenSet[NodeId]]:
+        """Recompute cliques from synthesized hello beacons (§III-B)."""
+        from repro.net.hello import derive_cliques, full_connectivity
+
+        states = {node: self._states[node] for node in contact.members}
+        return derive_cliques(states, full_connectivity(contact.members), now)
+
+    def _exchange_hellos(self, states: Mapping[NodeId, NodeState], now: float) -> None:
+        """Mutual hello reception; MBT also stores frequent contacts' queries."""
+        wanted = {node: state.wanted_uris(now) for node, state in states.items()}
+        for node, state in states.items():
+            for peer in states:
+                if peer != node:
+                    state.neighbor_last_heard[peer] = now
+                    state.remember_peer_requests(peer, wanted[peer], now)
+        if not self._config.variant.distributes_queries:
+            return
+        for node, state in states.items():
+            if state.selfish:
+                continue  # free-riders do not carry anyone's queries
+            for peer, peer_state in states.items():
+                if peer != node and peer in state.frequent_contacts:
+                    state.store_foreign_queries(peer, peer_state.own_queries(now))
+
+    # -- metadata phase ------------------------------------------------------------
+
+    def _run_metadata_phase(
+        self,
+        states: Mapping[NodeId, NodeState],
+        members: FrozenSet[NodeId],
+        now: float,
+        budget: Optional[int] = None,
+    ) -> None:
+        if budget is None:
+            budget = self._config.budget.metadata
+        if budget <= 0:
+            return
+        include_foreign = self._config.variant.distributes_queries
+        raw = discovery.build_metadata_candidates(states, now, include_foreign)
+        candidates = [_MutableMetaCandidate(c) for c in raw]
+        if not candidates:
+            return
+
+        mode = self._config.effective_scheduling()
+        if mode is SchedulingMode.COORDINATOR:
+            self._metadata_coordinator_loop(states, members, candidates, budget, now)
+        else:
+            self._metadata_cyclic_loop(states, members, candidates, budget, now)
+
+    def _meta_key(self, cand: _MutableMetaCandidate) -> Tuple:
+        phase = 0 if (cand.own_requesters or cand.proxy_requesters) else 1
+        return (
+            phase,
+            -len(cand.own_requesters),
+            -len(cand.proxy_requesters),
+            -cand.metadata.popularity,
+            cand.metadata.uri,
+        )
+
+    def _meta_tft_key(self, cand: _MutableMetaCandidate, sender: NodeState) -> Tuple:
+        weight = sender.credits.weight_of_requesters(cand.requesters)
+        phase = 0 if (cand.own_requesters or cand.proxy_requesters) else 1
+        return (-weight, phase, -cand.metadata.popularity, cand.metadata.uri)
+
+    def _metadata_coordinator_loop(
+        self,
+        states: Mapping[NodeId, NodeState],
+        members: FrozenSet[NodeId],
+        candidates: List[_MutableMetaCandidate],
+        budget: int,
+        now: float,
+    ) -> None:
+        # Coordinator election is deterministic; with full clique
+        # knowledge it always schedules the globally best candidate.
+        elect_coordinator(members)
+        for __ in range(budget):
+            sendable = [c for c in candidates if self._senders_of(c, states)]
+            if not sendable:
+                break
+            best = min(sendable, key=self._meta_key)
+            sender = min(self._senders_of(best, states))
+            if not self._transmit_metadata(states, members, best, sender, now):
+                candidates.remove(best)
+                continue
+            if not best.missing:
+                candidates.remove(best)
+
+    def _metadata_cyclic_loop(
+        self,
+        states: Mapping[NodeId, NodeState],
+        members: FrozenSet[NodeId],
+        candidates: List[_MutableMetaCandidate],
+        budget: int,
+        now: float,
+    ) -> None:
+        order = cyclic_order(members)
+        spent = 0
+        idle_turns = 0
+        position = 0
+        while spent < budget and idle_turns < len(order):
+            sender_id = order[position % len(order)]
+            position += 1
+            sender = states[sender_id]
+            if sender.selfish:
+                idle_turns += 1
+                continue
+            own = sorted(
+                (c for c in candidates if sender_id in c.holders and c.missing),
+                key=lambda c: self._meta_tft_key(c, sender),
+            )
+            sent = False
+            for cand in own:
+                sent = self._transmit_metadata(states, members, cand, sender_id, now)
+                if not cand.missing:
+                    candidates.remove(cand)
+                if sent:
+                    break
+            if sent:
+                spent += 1
+                idle_turns = 0
+            else:
+                idle_turns += 1
+
+    def _senders_of(
+        self, cand: _MutableMetaCandidate, states: Mapping[NodeId, NodeState]
+    ) -> List[NodeId]:
+        return [n for n in cand.holders if not states[n].selfish] if cand.missing else []
+
+    def _transmit_metadata(
+        self,
+        states: Mapping[NodeId, NodeState],
+        members: FrozenSet[NodeId],
+        cand: _MutableMetaCandidate,
+        sender: NodeId,
+        now: float,
+    ) -> bool:
+        """Broadcast (or unicast) one record; return True if sent."""
+        if self._medium.name == "broadcast":
+            receivers = self._medium.receivers(sender, members) & frozenset(cand.missing)
+        else:
+            receivers = self._pairwise_receiver(cand.requesters, cand.missing, sender)
+        if not receivers:
+            return False
+        states[sender].stats.metadata_sent += 1
+        self._metrics.count_metadata_transmission(len(receivers))
+        record = cand.metadata
+        for receiver in receivers:
+            state = states[receiver]
+            requested = any(q.matches(record) for q in state.own_queries(now))
+            new = state.accept_metadata(record, now)
+            if new:
+                self._metrics.on_metadata(receiver, record.uri, now)
+                if requested:
+                    state.credits.reward_requested(sender)
+                else:
+                    state.credits.reward_unrequested(sender, record.popularity)
+            cand.missing.discard(receiver)
+            cand.own_requesters.discard(receiver)
+            cand.proxy_requesters.discard(receiver)
+            cand.holders.add(receiver)
+        return True
+
+    def _unchoked(self, sender: NodeState, receivers: FrozenSet[NodeId]) -> FrozenSet[NodeId]:
+        """Receivers that get the decryption key (§IV-B future work).
+
+        A receiver is unchoked when its credit with the sender strictly
+        exceeds ``choke_credit_threshold``. The open metadata phase is
+        the bootstrap: any peer that ever sent the sender a useful
+        record has positive credit, so only nodes that transmit
+        *nothing* stay choked.
+
+        Internet-access nodes never choke: they are the seeds of the
+        hybrid DTN, and a seed that demands reciprocation starves the
+        whole network (they usually hold everything, so peers cannot
+        earn credit with them) — the same reason BitTorrent seeds
+        upload unconditionally.
+        """
+        if sender.internet_access:
+            return receivers
+        threshold = self._config.choke_credit_threshold
+        return frozenset(
+            r for r in receivers if sender.credits.credit_of(r) > threshold
+        )
+
+    @staticmethod
+    def _pairwise_receiver(
+        requesters: Set[NodeId], missing: Set[NodeId], sender: NodeId
+    ) -> FrozenSet[NodeId]:
+        """Single receiver for the pair-wise baseline: best requester."""
+        pool = (requesters or missing) - {sender}
+        if not pool:
+            return frozenset()
+        return frozenset({min(pool)})
+
+    # -- piece phase ------------------------------------------------------------
+
+    def _run_piece_phase(
+        self,
+        states: Mapping[NodeId, NodeState],
+        members: FrozenSet[NodeId],
+        now: float,
+        budget: Optional[int] = None,
+    ) -> None:
+        if budget is None:
+            budget = self._config.budget.pieces
+        if budget <= 0:
+            return
+        raw = download.build_piece_candidates(states, now)
+        candidates = [_MutablePieceCandidate(c) for c in raw]
+        if not candidates:
+            return
+
+        mode = self._config.effective_scheduling()
+        if mode is SchedulingMode.COORDINATOR:
+            self._piece_coordinator_loop(states, members, candidates, budget, now)
+        else:
+            self._piece_cyclic_loop(states, members, candidates, budget, now)
+
+    def _piece_key(self, cand: _MutablePieceCandidate) -> Tuple:
+        phase = 0 if cand.requesters else 1
+        return (
+            phase,
+            -len(cand.requesters),
+            -cand.metadata.popularity,
+            cand.uri,
+            cand.index,
+        )
+
+    def _piece_tft_key(self, cand: _MutablePieceCandidate, sender: NodeState) -> Tuple:
+        weight = sender.credits.weight_of_requesters(cand.requesters)
+        phase = 0 if cand.requesters else 1
+        return (-weight, phase, -cand.metadata.popularity, cand.uri, cand.index)
+
+    def _piece_coordinator_loop(
+        self,
+        states: Mapping[NodeId, NodeState],
+        members: FrozenSet[NodeId],
+        candidates: List[_MutablePieceCandidate],
+        budget: int,
+        now: float,
+    ) -> None:
+        elect_coordinator(members)
+        for __ in range(budget):
+            sendable = [c for c in candidates if self._piece_senders(c, states)]
+            if not sendable:
+                break
+            best = min(sendable, key=self._piece_key)
+            sender = min(self._piece_senders(best, states))
+            if not self._transmit_piece(states, members, candidates, best, sender, now):
+                candidates.remove(best)
+                continue
+            if not best.missing:
+                candidates.remove(best)
+
+    def _piece_cyclic_loop(
+        self,
+        states: Mapping[NodeId, NodeState],
+        members: FrozenSet[NodeId],
+        candidates: List[_MutablePieceCandidate],
+        budget: int,
+        now: float,
+    ) -> None:
+        order = cyclic_order(members)
+        spent = 0
+        idle_turns = 0
+        position = 0
+        while spent < budget and idle_turns < len(order):
+            sender_id = order[position % len(order)]
+            position += 1
+            sender = states[sender_id]
+            if sender.selfish:
+                idle_turns += 1
+                continue
+            own = sorted(
+                (c for c in candidates if sender_id in c.holders and c.missing),
+                key=lambda c: self._piece_tft_key(c, sender),
+            )
+            sent = False
+            for cand in own:
+                sent = self._transmit_piece(
+                    states, members, candidates, cand, sender_id, now
+                )
+                if not cand.missing:
+                    candidates.remove(cand)
+                if sent:
+                    break
+            if sent:
+                spent += 1
+                idle_turns = 0
+            else:
+                idle_turns += 1
+
+    def _piece_senders(
+        self, cand: _MutablePieceCandidate, states: Mapping[NodeId, NodeState]
+    ) -> List[NodeId]:
+        return [n for n in cand.holders if not states[n].selfish] if cand.missing else []
+
+    def _transmit_piece(
+        self,
+        states: Mapping[NodeId, NodeState],
+        members: FrozenSet[NodeId],
+        candidates: List[_MutablePieceCandidate],
+        cand: _MutablePieceCandidate,
+        sender: NodeId,
+        now: float,
+    ) -> bool:
+        """Broadcast one piece (with attached metadata); True if sent."""
+        if self._medium.name == "broadcast":
+            receivers = self._medium.receivers(sender, members) & frozenset(cand.missing)
+        else:
+            receivers = self._pairwise_receiver(cand.requesters, cand.missing, sender)
+        if not receivers:
+            return False
+        if self._config.encrypted_choking:
+            receivers = self._unchoked(states[sender], receivers)
+            if not receivers:
+                return False
+        states[sender].stats.pieces_sent += 1
+        self._metrics.count_piece_transmission(len(receivers))
+        record = cand.metadata
+        payload = piece_payload(record.uri, cand.index, self._config.payload_length)
+        checksum = record.checksums[cand.index]
+        newly_interested: List[NodeId] = []
+        for receiver in receivers:
+            state = states[receiver]
+            wanted_before = record.uri in state.wanted_uris(now)
+            # Pieces carry their metadata so receivers can verify them;
+            # under MBT-QM this piggyback is how metadata spread at all.
+            if state.accept_metadata(record, now):
+                self._metrics.on_metadata(receiver, record.uri, now)
+                if record.uri in state.wanted_uris(now) and not wanted_before:
+                    newly_interested.append(receiver)
+            new = state.accept_piece(record.uri, cand.index, payload, checksum, now)
+            if new:
+                if wanted_before or receiver in newly_interested:
+                    state.credits.reward_requested(sender)
+                else:
+                    state.credits.reward_unrequested(sender, record.popularity)
+                if state.pieces.is_complete(record.uri, record.num_pieces):
+                    state.stats.files_completed += 1
+                    self._metrics.on_file_complete(receiver, record.uri, now)
+            cand.missing.discard(receiver)
+            cand.requesters.discard(receiver)
+            cand.holders.add(receiver)
+        # A receiver that just became interested in this URI now requests
+        # the file's other pieces, raising their phase-one priority.
+        if newly_interested:
+            for other in candidates:
+                if other is cand or other.uri != record.uri:
+                    continue
+                for node in newly_interested:
+                    if node in other.missing:
+                        other.requesters.add(node)
+        return True

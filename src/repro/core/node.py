@@ -1,0 +1,489 @@
+"""Per-node protocol state.
+
+A node runs a file-discovery process and a file-download process
+(§III-B). Its state comprises:
+
+* a **metadata store** (bounded, evicting the least popular record);
+* a **piece store** with checksum verification;
+* its **own queries** plus, under full MBT, the stored queries of its
+  *frequent contacting nodes* (§IV: "nodes can also store the query
+  strings of their most frequently connected nodes to cooperatively
+  shorten file discovery time");
+* a **neighbor table** fed by hello messages;
+* a tit-for-tat **credit ledger**;
+* flags: Internet access (§VI-A) and selfishness (§IV-B/§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.catalog.files import PieceStore
+from repro.catalog.metadata import Metadata, PublisherRegistry, verify_metadata
+from repro.catalog.query import Query
+from repro.core.credits import CreditLedger
+from repro.types import NodeId, Uri
+
+
+@dataclass
+class NodeStats:
+    """Operational counters for one node."""
+
+    metadata_received: int = 0
+    metadata_duplicates: int = 0
+    metadata_rejected_auth: int = 0
+    pieces_received: int = 0
+    piece_duplicates: int = 0
+    metadata_sent: int = 0
+    pieces_sent: int = 0
+    files_completed: int = 0
+    internet_syncs: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "metadata_received": self.metadata_received,
+            "metadata_duplicates": self.metadata_duplicates,
+            "metadata_rejected_auth": self.metadata_rejected_auth,
+            "pieces_received": self.pieces_received,
+            "piece_duplicates": self.piece_duplicates,
+            "metadata_sent": self.metadata_sent,
+            "pieces_sent": self.pieces_sent,
+            "files_completed": self.files_completed,
+            "internet_syncs": self.internet_syncs,
+        }
+
+
+#: Supported eviction policies for a bounded metadata store.
+EVICTION_POLICIES = ("popularity", "fifo", "lru", "utility")
+
+
+class MetadataStore:
+    """Bounded metadata store with pluggable eviction.
+
+    The abundance of metadata is the point of the discovery scheme, but
+    storage is finite. When full, a victim is chosen by ``policy``:
+
+    * ``"popularity"`` (default, the paper's spirit): evict the record
+      with the lowest ``(popularity, uri)`` key;
+    * ``"fifo"``: evict the oldest-inserted record;
+    * ``"lru"``: evict the least recently ``get``-accessed record;
+    * ``"utility"``: evict the lowest ``popularity × remaining TTL`` —
+      a record's expected future usefulness. Motivated by the storage
+      ablation (`bench_storage.py`): pure popularity eviction keeps old
+      popular records that are about to expire anyway, which is why
+      plain FIFO can beat it; utility combines both signals.
+
+    Records matching one of the owner's *protected* URIs (metadata for
+    files the node itself wants) are never evicted while an
+    unprotected victim exists.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, policy: str = "popularity") -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        if policy not in EVICTION_POLICIES:
+            raise ValueError(f"unknown eviction policy {policy!r}")
+        self._capacity = capacity
+        self._policy = policy
+        #: Insertion-ordered; LRU moves entries to the end on access.
+        self._records: Dict[Uri, Metadata] = {}
+
+    def __contains__(self, uri: Uri) -> bool:
+        return uri in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, uri: Uri) -> Optional[Metadata]:
+        record = self._records.get(uri)
+        if record is not None and self._policy == "lru":
+            self._records[uri] = self._records.pop(uri)  # touch
+        return record
+
+    @property
+    def uris(self) -> FrozenSet[Uri]:
+        return frozenset(self._records)
+
+    def records(self) -> List[Metadata]:
+        """All records, unordered."""
+        return list(self._records.values())
+
+    def may_evict_on_insert(self, uri: Uri) -> bool:
+        """Whether inserting ``uri`` could trigger an eviction."""
+        if self._capacity is None:
+            return False
+        return uri not in self._records and len(self._records) >= self._capacity
+
+    def add(
+        self,
+        metadata: Metadata,
+        protected: FrozenSet[Uri] = frozenset(),
+        now: Optional[float] = None,
+    ) -> bool:
+        """Insert a record; return True if it was new.
+
+        Re-inserting an existing URI refreshes the record (popularity
+        updates) but reports it as a duplicate. ``now`` feeds the
+        utility policy's remaining-TTL computation (defaults to the
+        record's creation time when absent).
+        """
+        new = metadata.uri not in self._records
+        self._records[metadata.uri] = metadata
+        if new and self._capacity is not None and len(self._records) > self._capacity:
+            at = now if now is not None else metadata.created_at
+            self._evict_one(protected | {metadata.uri}, at)
+        return new
+
+    def _evict_one(self, protected: FrozenSet[Uri], now: float) -> None:
+        victims = [md for uri, md in self._records.items() if uri not in protected]
+        if not victims:
+            # Everything is protected; fall back to evicting globally.
+            victims = list(self._records.values())
+        if self._policy == "popularity":
+            victim = min(victims, key=lambda md: (md.popularity, md.uri))
+        elif self._policy == "utility":
+            victim = min(
+                victims,
+                key=lambda md: (
+                    md.popularity * max(0.0, md.expires_at - now),
+                    md.uri,
+                ),
+            )
+        else:
+            # fifo: oldest inserted; lru: least recently touched — both
+            # are the earliest entry in the ordered dict.
+            victim = victims[0]
+        del self._records[victim.uri]
+
+    def drop_expired(self, now: float) -> List[Uri]:
+        """Remove expired records; return removed URIs."""
+        dead = [uri for uri, md in self._records.items() if not md.is_live(now)]
+        for uri in dead:
+            del self._records[uri]
+        return dead
+
+
+class NodeState:
+    """The full protocol state of one DTN node."""
+
+    def __init__(
+        self,
+        node: NodeId,
+        registry: PublisherRegistry,
+        internet_access: bool = False,
+        selfish: bool = False,
+        metadata_capacity: Optional[int] = None,
+        metadata_policy: str = "popularity",
+        piece_capacity: Optional[int] = None,
+        payload_length: int = 64,
+        verify_signatures: bool = True,
+        selection_policy: str = "all",
+    ) -> None:
+        if piece_capacity is not None and piece_capacity < 1:
+            raise ValueError("piece_capacity must be >= 1 or None")
+        if selection_policy not in ("all", "best"):
+            raise ValueError(f"unknown selection policy {selection_policy!r}")
+        self.node = node
+        self.internet_access = internet_access
+        self.selfish = selfish
+        self.registry = registry
+        self.verify_signatures = verify_signatures
+        self.selection_policy = selection_policy
+        self.metadata = MetadataStore(metadata_capacity, metadata_policy)
+        self.pieces = PieceStore(payload_length)
+        self.piece_capacity = piece_capacity
+        self.credits = CreditLedger(node)
+        self.stats = NodeStats()
+        self._own_queries: List[Query] = []
+        #: Queries of frequent contacts, stored under full MBT.
+        self._foreign_queries: Dict[NodeId, List[Query]] = {}
+        self.frequent_contacts: Set[NodeId] = set()
+        #: (peer -> last hello time), from received hellos.
+        self.neighbor_last_heard: Dict[NodeId, float] = {}
+        #: Peer download requests heard in hellos: uri -> (last heard
+        #: time, number of distinct peers heard requesting it). Access
+        #: nodes use this to proxy-download files for the DTN (§III-A:
+        #: nodes without Internet access "download files with the help
+        #: of other nodes in the hybrid DTN").
+        self._peer_requests: Dict[Uri, Tuple[float, Set[NodeId]]] = {}
+        #: Monotonic version, bumped on every state mutation; lets
+        #: derived sets (wanted URIs) be cached between mutations.
+        self._version = 0
+        self._wanted_cache: Tuple[int, float, FrozenSet[Uri]] = (-1, -1.0, frozenset())
+
+    # -- queries ------------------------------------------------------------------
+
+    def add_own_query(self, query: Query) -> None:
+        if query.node != self.node:
+            raise ValueError(f"query of node {query.node} given to node {self.node}")
+        self._own_queries.append(query)
+        self._version += 1
+
+    def own_queries(self, now: float) -> List[Query]:
+        """The node's live standing queries."""
+        return [q for q in self._own_queries if q.is_live(now)]
+
+    def store_foreign_queries(self, peer: NodeId, queries: Iterable[Query]) -> None:
+        """Remember a frequent contact's queries (full MBT only)."""
+        stored = self._foreign_queries.setdefault(peer, [])
+        known = {(q.target_uri, q.tokens) for q in stored}
+        for query in queries:
+            key = (query.target_uri, query.tokens)
+            if key not in known:
+                stored.append(query)
+                known.add(key)
+
+    def foreign_queries(self, now: float) -> List[Query]:
+        """Live stored queries of frequent contacts."""
+        out: List[Query] = []
+        for queries in self._foreign_queries.values():
+            out.extend(q for q in queries if q.is_live(now))
+        return out
+
+    def carried_queries(self, now: float, include_foreign: bool) -> List[Query]:
+        """Queries the node advertises and pulls for.
+
+        Under full MBT this is own + stored frequent-contact queries;
+        under MBT-Q (and MBT-QM) it is the node's own queries only.
+        """
+        queries = self.own_queries(now)
+        if include_foreign:
+            queries.extend(self.foreign_queries(now))
+        return queries
+
+    def query_tokens(self, now: float, include_foreign: bool) -> Tuple[FrozenSet[str], ...]:
+        """Token sets for the hello message."""
+        return tuple(q.tokens for q in self.carried_queries(now, include_foreign))
+
+    def own_query_tokens(self, now: float) -> Tuple[FrozenSet[str], ...]:
+        """Token sets of the node's own live queries."""
+        return tuple(q.tokens for q in self.own_queries(now))
+
+    def foreign_query_tokens(self, now: float) -> Tuple[FrozenSet[str], ...]:
+        """Token sets carried for frequent contacts (full MBT)."""
+        return tuple(q.tokens for q in self.foreign_queries(now))
+
+    def unmatched_own_queries(self, now: float) -> List[Query]:
+        """Own live queries with no matching metadata in the store."""
+        records = self.metadata.records()
+        out = []
+        for query in self.own_queries(now):
+            if not any(query.matches(md) for md in records):
+                out.append(query)
+        return out
+
+    # -- wanted files ---------------------------------------------------------------
+
+    def wanted_uris(self, now: float) -> FrozenSet[Uri]:
+        """URIs the node is downloading (selected metadata, incomplete).
+
+        Which matching metadata the user "selects" is governed by
+        ``selection_policy``:
+
+        * ``"all"`` (default, the evaluation's simplification): every
+          stored record matching a live query is selected;
+        * ``"best"`` (§III-B's manual selection: "the user may select
+          one of the metadata"): per query, only the best-ranked match
+          — verified publishers first, then popularity — is selected.
+          Under pollution, this is what shields users from keyword-
+          identical fakes.
+
+        A URI stays wanted until all its pieces are stored. The result
+        is cached until the next state mutation at the same instant
+        (contact processing calls this in hot loops).
+        """
+        version, cached_now, cached = self._wanted_cache
+        if version == self._version and cached_now == now:
+            return cached
+        wanted: Set[Uri] = set()
+        records = self.metadata.records()
+        for query in self.own_queries(now):
+            matches = [
+                record
+                for record in records
+                if record.is_live(now) and query.matches(record)
+            ]
+            if not matches:
+                continue
+            if self.selection_policy == "best":
+                matches = [self._best_match(matches)]
+            for record in matches:
+                if not self.pieces.is_complete(record.uri, record.num_pieces):
+                    wanted.add(record.uri)
+        result = frozenset(wanted)
+        self._wanted_cache = (self._version, now, result)
+        return result
+
+    def _best_match(self, matches: List[Metadata]) -> Metadata:
+        """The record a careful user would pick among query matches.
+
+        Authenticated publishers outrank unverifiable ones, popularity
+        breaks ties, URI makes the choice deterministic.
+        """
+        return min(
+            matches,
+            key=lambda md: (
+                not verify_metadata(md, self.registry),
+                -md.popularity,
+                md.uri,
+            ),
+        )
+
+    def protected_uris(self, now: float) -> FrozenSet[Uri]:
+        """Metadata URIs shielded from eviction (they match own queries)."""
+        protected: Set[Uri] = set()
+        for query in self.own_queries(now):
+            for record in self.metadata.records():
+                if query.matches(record):
+                    protected.add(record.uri)
+        return frozenset(protected)
+
+    # -- receiving ------------------------------------------------------------------
+
+    def accept_metadata(self, metadata: Metadata, now: float) -> bool:
+        """Verify and store a received metadata record.
+
+        Returns True if the record was new and accepted. Records from
+        unknown publishers or with bad signatures are rejected
+        (fake-publisher defence).
+        """
+        if self.verify_signatures and not verify_metadata(metadata, self.registry):
+            self.stats.metadata_rejected_auth += 1
+            return False
+        if not metadata.is_live(now):
+            return False
+        # Computing the protected set is only needed when eviction can
+        # actually happen (the store is bounded and full).
+        if self.metadata.may_evict_on_insert(metadata.uri):
+            protected = self.protected_uris(now)
+        else:
+            protected = frozenset()
+        new = self.metadata.add(metadata, protected=protected, now=now)
+        if new:
+            self.stats.metadata_received += 1
+            self._version += 1
+        else:
+            self.stats.metadata_duplicates += 1
+        return new
+
+    def accept_piece(
+        self, uri: Uri, index: int, payload: bytes, checksum: str, now: float = 0.0
+    ) -> bool:
+        """Verify and store a received piece; True if new and admitted.
+
+        With a bounded piece buffer, room is made by evicting pieces of
+        files the node does not want (lowest popularity first); if
+        everything stored is wanted, an unwanted incoming piece is
+        refused instead.
+        """
+        if not self._make_room_for_piece(uri, now):
+            return False
+        new = self.pieces.add(uri, index, payload, checksum)
+        if new:
+            self.stats.pieces_received += 1
+            self._version += 1
+        else:
+            self.stats.piece_duplicates += 1
+        return new
+
+    def _make_room_for_piece(self, incoming_uri: Uri, now: float) -> bool:
+        """Evict until the buffer has room; False if the piece must be refused.
+
+        Pieces of files matching the owner's queries — still downloading
+        *or already completed* — are kept; relay-cached pieces of other
+        files are evicted lowest-popularity first.
+        """
+        if self.piece_capacity is None:
+            return True
+        keep = self.protected_uris(now)
+        while self.pieces.total_pieces() >= self.piece_capacity:
+            victims = [
+                uri
+                for uri in self.pieces.uris
+                if uri != incoming_uri and uri not in keep
+            ]
+            if not victims:
+                # Everything stored is the owner's (or the incoming
+                # file): only admit the piece if it is itself wanted,
+                # evicting the least popular other kept file.
+                if incoming_uri not in keep:
+                    return False
+                victims = [uri for uri in self.pieces.uris if uri != incoming_uri]
+                if not victims:
+                    return True  # buffer holds only this file's pieces
+            victim = min(victims, key=self._eviction_key)
+            self.pieces.drop(victim)
+            self._version += 1
+        return True
+
+    def _eviction_key(self, uri: Uri) -> Tuple[float, Uri]:
+        record = self.metadata.get(uri)
+        popularity = record.popularity if record is not None else -1.0
+        return (popularity, uri)
+
+    # -- peer requests ---------------------------------------------------------------
+
+    def remember_peer_requests(self, peer: NodeId, uris: Iterable[Uri], now: float) -> None:
+        """Store the downloading URIs a peer advertised in its hello."""
+        for uri in uris:
+            last, requesters = self._peer_requests.get(uri, (now, set()))
+            requesters.add(peer)
+            self._peer_requests[uri] = (max(last, now), requesters)
+
+    def top_peer_requests(self, now: float, window: float) -> List[Uri]:
+        """Recently heard peer requests, most-demanded first.
+
+        Requests older than ``window`` seconds are pruned. Order:
+        number of distinct requesters descending, recency descending,
+        URI as the deterministic tie-break.
+        """
+        stale = [
+            uri for uri, (last, __) in self._peer_requests.items() if now - last > window
+        ]
+        for uri in stale:
+            del self._peer_requests[uri]
+        return sorted(
+            self._peer_requests,
+            key=lambda uri: (
+                -len(self._peer_requests[uri][1]),
+                -self._peer_requests[uri][0],
+                uri,
+            ),
+        )
+
+    def receive_whole_file(self, uri: Uri, num_pieces: int) -> None:
+        """Store every piece of a file at once (Internet download)."""
+        self.pieces.add_whole_file(uri, num_pieces)
+        self._version += 1
+
+    # -- housekeeping -----------------------------------------------------------------
+
+    def expire(self, now: float) -> None:
+        """Drop expired metadata, queries and orphaned pieces."""
+        self._version += 1
+        self.metadata.drop_expired(now)
+        self._own_queries = [q for q in self._own_queries if q.is_live(now)]
+        for peer in list(self._foreign_queries):
+            live = [q for q in self._foreign_queries[peer] if q.is_live(now)]
+            if live:
+                self._foreign_queries[peer] = live
+            else:
+                del self._foreign_queries[peer]
+        live_uris = self.metadata.uris
+        self.pieces.drop_expired(live_uris)
+
+    def heard_recently(self, now: float, window: float) -> FrozenSet[NodeId]:
+        """Neighbors heard within ``window`` seconds."""
+        return frozenset(
+            peer
+            for peer, t in self.neighbor_last_heard.items()
+            if now - t <= window
+        )
+
+    def __repr__(self) -> str:
+        access = "inet" if self.internet_access else "dtn"
+        return (
+            f"NodeState(node={self.node}, {access}, "
+            f"meta={len(self.metadata)}, pieces={self.pieces.total_pieces()})"
+        )

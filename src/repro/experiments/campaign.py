@@ -1,0 +1,124 @@
+"""Multi-seed campaigns: repeat runs and report spread, not just means.
+
+Single-seed sweeps answer "what shape"; campaigns answer "how sure".
+:func:`repeat` runs one configuration across seeds and summarizes both
+delivery ratios; :func:`compare` runs several named configurations on
+the same seeds and reports them side by side, including a crude
+separation check (do the one-standard-deviation intervals overlap?).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import Simulation, SimulationConfig
+from repro.traces.base import ContactTrace
+
+#: Builds the trace for a seed (campaigns regenerate per seed so trace
+#: randomness is part of the measured spread).
+TraceFactory = Callable[[int], ContactTrace]
+
+
+@dataclass(frozen=True)
+class Spread:
+    """Summary of one scalar across seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Spread":
+        if not values:
+            raise ValueError("no values")
+        n = len(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        return cls(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+            count=n,
+        )
+
+    def describe(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f} (n={self.count})"
+
+    def interval(self) -> Tuple[float, float]:
+        """The mean ± one standard deviation band."""
+        return (self.mean - self.std, self.mean + self.std)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Per-configuration spread of both delivery ratios."""
+
+    name: str
+    metadata: Spread
+    file: Spread
+    results: Tuple[SimulationResult, ...]
+
+
+def repeat(
+    name: str,
+    trace_factory: TraceFactory,
+    config: SimulationConfig,
+    seeds: Sequence[int],
+) -> CampaignResult:
+    """Run one configuration across ``seeds`` (trace + roles re-seeded)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results: List[SimulationResult] = []
+    for seed in seeds:
+        trace = trace_factory(seed)
+        seeded = config.with_variant(config.variant)
+        from dataclasses import replace
+
+        results.append(Simulation(trace, replace(seeded, seed=seed)).run())
+    return CampaignResult(
+        name=name,
+        metadata=Spread.of([r.metadata_delivery_ratio for r in results]),
+        file=Spread.of([r.file_delivery_ratio for r in results]),
+        results=tuple(results),
+    )
+
+
+def compare(
+    configs: Dict[str, SimulationConfig],
+    trace_factory: TraceFactory,
+    seeds: Sequence[int],
+) -> List[CampaignResult]:
+    """Run several named configurations on identical seeds."""
+    return [
+        repeat(name, trace_factory, config, seeds)
+        for name, config in configs.items()
+    ]
+
+
+def separated(a: Spread, b: Spread) -> bool:
+    """Whether two spreads' 1-sigma intervals do not overlap.
+
+    A cheap robustness check: if True, the ordering of the means is
+    unlikely to be seed noise (for the small seed counts used here a
+    proper test would need more samples — this is a screening tool).
+    """
+    a_lo, a_hi = a.interval()
+    b_lo, b_hi = b.interval()
+    return a_hi < b_lo or b_hi < a_lo
+
+
+def format_campaign(results: Sequence[CampaignResult]) -> str:
+    """Aligned text table of a comparison campaign."""
+    lines = [f"{'config':>16}{'metadata':>20}{'file':>20}"]
+    for result in results:
+        lines.append(
+            f"{result.name:>16}{result.metadata.describe():>20}"
+            f"{result.file.describe():>20}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""One function per figure panel of the paper's evaluation (§VI-B).
+
+Figure 2 panels sweep the DieselNet trace, Figure 3 panels the NUS
+student trace:
+
+    (a) percentage of Internet-access nodes
+    (b) number of new files per day
+    (c) file TTL in days
+    (d) metadata transmissions per contact
+    (e) file transmissions per contact
+    (f) attendance rate (NUS only)
+
+Every function accepts a ``scale`` ("fast" for CI-sized runs, "paper"
+for full-sized ones) and a seed list to average over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Sequence
+
+from repro.experiments.sweep import SweepResult, cached_trace_factory, run_sweep
+from repro.experiments.workloads import (
+    Scale,
+    dieselnet_base_config,
+    dieselnet_trace,
+    nus_base_config,
+    nus_trace,
+)
+from repro.sim.runner import SimulationConfig
+
+#: Paper x-axis ranges (§VI-A).
+ACCESS_FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
+FILES_PER_DAY = (10, 25, 40, 70, 100)
+TTL_DAYS = (1, 2, 3, 4, 5)
+PER_CONTACT_BUDGETS = (1, 2, 4, 7, 10)
+ATTENDANCE_RATES = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _sweep_access(config: SimulationConfig, x: float, seed: int) -> SimulationConfig:
+    return replace(config, internet_access_fraction=x, seed=seed)
+
+
+def _sweep_files_per_day(config: SimulationConfig, x: float, seed: int) -> SimulationConfig:
+    return replace(config, files_per_day=int(x), seed=seed)
+
+
+def _sweep_ttl(config: SimulationConfig, x: float, seed: int) -> SimulationConfig:
+    return replace(config, ttl_days=float(x), seed=seed)
+
+
+def _sweep_meta_budget(config: SimulationConfig, x: float, seed: int) -> SimulationConfig:
+    return replace(config, metadata_per_contact=int(x), seed=seed)
+
+
+def _sweep_file_budget(config: SimulationConfig, x: float, seed: int) -> SimulationConfig:
+    return replace(config, files_per_contact=int(x), seed=seed)
+
+
+def _sweep_seed_only(config: SimulationConfig, x: float, seed: int) -> SimulationConfig:
+    return replace(config, seed=seed)
+
+
+# ----------------------------------------------------------------- Figure 2
+
+
+def fig2a(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+    """Fig. 2(a): delivery vs % of Internet-access nodes (DieselNet)."""
+    return run_sweep(
+        name="Fig 2(a) DieselNet — Internet-access fraction",
+        x_label="access fraction",
+        x_values=ACCESS_FRACTIONS,
+        trace_factory=cached_trace_factory(lambda seed: dieselnet_trace(scale, seed)),
+        config_factory=_sweep_access,
+        base_config=dieselnet_base_config(),
+        seeds=seeds,
+    )
+
+
+def fig2b(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+    """Fig. 2(b): delivery vs new files per day (DieselNet)."""
+    return run_sweep(
+        name="Fig 2(b) DieselNet — new files per day",
+        x_label="files/day",
+        x_values=FILES_PER_DAY,
+        trace_factory=cached_trace_factory(lambda seed: dieselnet_trace(scale, seed)),
+        config_factory=_sweep_files_per_day,
+        base_config=dieselnet_base_config(),
+        seeds=seeds,
+    )
+
+
+def fig2c(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+    """Fig. 2(c): delivery vs file TTL in days (DieselNet)."""
+    return run_sweep(
+        name="Fig 2(c) DieselNet — file TTL (days)",
+        x_label="TTL (days)",
+        x_values=TTL_DAYS,
+        trace_factory=cached_trace_factory(lambda seed: dieselnet_trace(scale, seed)),
+        config_factory=_sweep_ttl,
+        base_config=dieselnet_base_config(),
+        seeds=seeds,
+    )
+
+
+def fig2d(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+    """Fig. 2(d): delivery vs metadata per contact (DieselNet)."""
+    return run_sweep(
+        name="Fig 2(d) DieselNet — metadata per contact",
+        x_label="metadata/contact",
+        x_values=PER_CONTACT_BUDGETS,
+        trace_factory=cached_trace_factory(lambda seed: dieselnet_trace(scale, seed)),
+        config_factory=_sweep_meta_budget,
+        base_config=dieselnet_base_config(),
+        seeds=seeds,
+    )
+
+
+def fig2e(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+    """Fig. 2(e): delivery vs files per contact (DieselNet)."""
+    return run_sweep(
+        name="Fig 2(e) DieselNet — files per contact",
+        x_label="files/contact",
+        x_values=PER_CONTACT_BUDGETS,
+        trace_factory=cached_trace_factory(lambda seed: dieselnet_trace(scale, seed)),
+        config_factory=_sweep_file_budget,
+        base_config=dieselnet_base_config(),
+        seeds=seeds,
+    )
+
+
+# ----------------------------------------------------------------- Figure 3
+
+
+def fig3a(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+    """Fig. 3(a): delivery vs % of Internet-access nodes (NUS)."""
+    return run_sweep(
+        name="Fig 3(a) NUS — Internet-access fraction",
+        x_label="access fraction",
+        x_values=ACCESS_FRACTIONS,
+        trace_factory=cached_trace_factory(lambda seed: nus_trace(scale, seed)),
+        config_factory=_sweep_access,
+        base_config=nus_base_config(),
+        seeds=seeds,
+    )
+
+
+def fig3b(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+    """Fig. 3(b): delivery vs new files per day (NUS)."""
+    return run_sweep(
+        name="Fig 3(b) NUS — new files per day",
+        x_label="files/day",
+        x_values=FILES_PER_DAY,
+        trace_factory=cached_trace_factory(lambda seed: nus_trace(scale, seed)),
+        config_factory=_sweep_files_per_day,
+        base_config=nus_base_config(),
+        seeds=seeds,
+    )
+
+
+def fig3c(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+    """Fig. 3(c): delivery vs file TTL in days (NUS)."""
+    return run_sweep(
+        name="Fig 3(c) NUS — file TTL (days)",
+        x_label="TTL (days)",
+        x_values=TTL_DAYS,
+        trace_factory=cached_trace_factory(lambda seed: nus_trace(scale, seed)),
+        config_factory=_sweep_ttl,
+        base_config=nus_base_config(),
+        seeds=seeds,
+    )
+
+
+def fig3d(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+    """Fig. 3(d): delivery vs metadata per contact (NUS)."""
+    return run_sweep(
+        name="Fig 3(d) NUS — metadata per contact",
+        x_label="metadata/contact",
+        x_values=PER_CONTACT_BUDGETS,
+        trace_factory=cached_trace_factory(lambda seed: nus_trace(scale, seed)),
+        config_factory=_sweep_meta_budget,
+        base_config=nus_base_config(),
+        seeds=seeds,
+    )
+
+
+def fig3e(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+    """Fig. 3(e): delivery vs files per contact (NUS)."""
+    return run_sweep(
+        name="Fig 3(e) NUS — files per contact",
+        x_label="files/contact",
+        x_values=PER_CONTACT_BUDGETS,
+        trace_factory=cached_trace_factory(lambda seed: nus_trace(scale, seed)),
+        config_factory=_sweep_file_budget,
+        base_config=nus_base_config(),
+        seeds=seeds,
+    )
+
+
+def fig3f(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+    """Fig. 3(f): delivery vs class attendance rate (NUS).
+
+    This sweep varies the *trace generator*: each x regenerates the NUS
+    trace with a different attendance rate.
+    """
+    return run_sweep(
+        name="Fig 3(f) NUS — attendance rate",
+        x_label="attendance rate",
+        x_values=ATTENDANCE_RATES,
+        trace_factory=lambda x, seed: nus_trace(scale, seed, attendance_rate=x),
+        config_factory=_sweep_seed_only,
+        base_config=nus_base_config(),
+        seeds=seeds,
+    )
+
+
+#: Registry used by the benchmark suite and the figure-runner example.
+FIGURES: Dict[str, Callable[..., SweepResult]] = {
+    "fig2a": fig2a,
+    "fig2b": fig2b,
+    "fig2c": fig2c,
+    "fig2d": fig2d,
+    "fig2e": fig2e,
+    "fig3a": fig3a,
+    "fig3b": fig3b,
+    "fig3c": fig3c,
+    "fig3d": fig3d,
+    "fig3e": fig3e,
+    "fig3f": fig3f,
+}

@@ -1,0 +1,141 @@
+"""Generic parameter-sweep engine for the figure reproductions.
+
+A sweep varies one x-axis parameter, runs every protocol variant at
+each point (averaging over seeds) and collects both delivery ratios.
+The result renders as an aligned text table — the textual equivalent of
+one figure panel from the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mbt import ProtocolVariant
+from repro.sim.runner import Simulation, SimulationConfig
+from repro.traces.base import ContactTrace
+
+#: A sweep hook: (base config, x value, seed) -> concrete config.
+ConfigFactory = Callable[[SimulationConfig, float, int], SimulationConfig]
+#: A sweep hook: (x value, seed) -> trace (lets sweeps regenerate the
+#: trace per point, e.g. the attendance-rate sweep of Fig. 3(f)).
+TraceFactory = Callable[[float, int], ContactTrace]
+
+DEFAULT_PROTOCOLS: Tuple[ProtocolVariant, ...] = (
+    ProtocolVariant.MBT,
+    ProtocolVariant.MBT_Q,
+    ProtocolVariant.MBT_QM,
+)
+
+
+@dataclass(frozen=True)
+class ProtocolSeries:
+    """Per-protocol y-series of one sweep."""
+
+    protocol: str
+    metadata_ratios: Tuple[float, ...]
+    file_ratios: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """All measurements at one x value."""
+
+    x: float
+    #: protocol name -> (metadata ratio, file ratio), seed-averaged.
+    ratios: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One reproduced figure panel."""
+
+    name: str
+    x_label: str
+    x_values: Tuple[float, ...]
+    points: Tuple[SweepPoint, ...]
+    protocols: Tuple[str, ...]
+
+    def series(self, protocol: str) -> ProtocolSeries:
+        """Extract the y-series of one protocol."""
+        return ProtocolSeries(
+            protocol=protocol,
+            metadata_ratios=tuple(p.ratios[protocol][0] for p in self.points),
+            file_ratios=tuple(p.ratios[protocol][1] for p in self.points),
+        )
+
+    def metadata_series(self, protocol: str) -> Tuple[float, ...]:
+        return self.series(protocol).metadata_ratios
+
+    def file_series(self, protocol: str) -> Tuple[float, ...]:
+        return self.series(protocol).file_ratios
+
+    def format_table(self) -> str:
+        """Render the panel as an aligned text table."""
+        header = [f"{self.x_label:>24}"]
+        for protocol in self.protocols:
+            header.append(f"{protocol + ' meta':>12}")
+            header.append(f"{protocol + ' file':>12}")
+        lines = [f"== {self.name} ==", "".join(header)]
+        for point in self.points:
+            row = [f"{point.x:>24.3g}"]
+            for protocol in self.protocols:
+                meta, file_ratio = point.ratios[protocol]
+                row.append(f"{meta:>12.3f}")
+                row.append(f"{file_ratio:>12.3f}")
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+def run_sweep(
+    name: str,
+    x_label: str,
+    x_values: Sequence[float],
+    trace_factory: TraceFactory,
+    config_factory: ConfigFactory,
+    base_config: SimulationConfig,
+    protocols: Sequence[ProtocolVariant] = DEFAULT_PROTOCOLS,
+    seeds: Sequence[int] = (0,),
+) -> SweepResult:
+    """Run a full sweep and assemble the panel.
+
+    For every (x, protocol) cell, results are averaged over ``seeds``;
+    the trace is regenerated per (x, seed) so that sweeps over trace
+    parameters and sweeps over protocol parameters share one code path
+    (trace factories that ignore x simply cache).
+    """
+    points: List[SweepPoint] = []
+    for x in x_values:
+        cell: Dict[str, Tuple[float, float]] = {}
+        for protocol in protocols:
+            metas: List[float] = []
+            files: List[float] = []
+            for seed in seeds:
+                trace = trace_factory(x, seed)
+                config = config_factory(base_config, x, seed)
+                config = config.with_variant(protocol)
+                result = Simulation(trace, config).run()
+                metas.append(result.metadata_delivery_ratio)
+                files.append(result.file_delivery_ratio)
+            cell[protocol.value] = (mean(metas), mean(files))
+        points.append(SweepPoint(x=float(x), ratios=cell))
+    return SweepResult(
+        name=name,
+        x_label=x_label,
+        x_values=tuple(float(x) for x in x_values),
+        points=tuple(points),
+        protocols=tuple(p.value for p in protocols),
+    )
+
+
+def cached_trace_factory(build: Callable[[int], ContactTrace]) -> TraceFactory:
+    """Wrap a seed-only trace builder with an x-ignoring cache."""
+    cache: Dict[int, ContactTrace] = {}
+
+    def factory(x: float, seed: int) -> ContactTrace:
+        if seed not in cache:
+            cache[seed] = build(seed)
+        return cache[seed]
+
+    return factory

@@ -1,0 +1,70 @@
+"""Trace and configuration presets used by the figure sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Literal
+
+from repro.sim.runner import SimulationConfig
+from repro.traces.base import ContactTrace
+from repro.traces.dieselnet import DieselNetConfig, generate_dieselnet_trace
+from repro.traces.nus import NUSConfig, generate_nus_trace
+
+Scale = Literal["fast", "paper"]
+
+#: DieselNet generator presets. "paper" approximates the real trace's
+#: population; "fast" keeps full sweeps tractable inside pytest.
+_DIESELNET = {
+    "fast": DieselNetConfig(num_buses=20, num_days=8),
+    "paper": DieselNetConfig(num_buses=40, num_days=20),
+}
+
+_NUS = {
+    "fast": NUSConfig(num_students=60, num_courses=12, num_days=8),
+    "paper": NUSConfig(num_students=120, num_courses=24, num_days=20),
+}
+
+
+def dieselnet_trace(scale: Scale = "fast", seed: int = 0) -> ContactTrace:
+    """Synthetic UMassDieselNet-style trace at the given scale."""
+    return generate_dieselnet_trace(_DIESELNET[scale], seed=seed)
+
+
+def nus_trace(
+    scale: Scale = "fast", seed: int = 0, attendance_rate: float = 0.8
+) -> ContactTrace:
+    """Synthetic NUS student trace at the given scale."""
+    config = replace(_NUS[scale], attendance_rate=attendance_rate)
+    return generate_nus_trace(config, seed=seed)
+
+
+def dieselnet_base_config(seed: int = 0) -> SimulationConfig:
+    """Baseline §VI-A parameters on the DieselNet trace.
+
+    Frequent contacts: at least one meeting every three days.
+    """
+    return SimulationConfig(
+        internet_access_fraction=0.3,
+        files_per_day=40,
+        ttl_days=3.0,
+        metadata_per_contact=3,
+        files_per_contact=3,
+        frequent_contact_max_gap_days=3.0,
+        seed=seed,
+    )
+
+
+def nus_base_config(seed: int = 0) -> SimulationConfig:
+    """Baseline §VI-A parameters on the NUS trace.
+
+    Frequent contacts: at least one meeting per day.
+    """
+    return SimulationConfig(
+        internet_access_fraction=0.3,
+        files_per_day=40,
+        ttl_days=3.0,
+        metadata_per_contact=3,
+        files_per_contact=3,
+        frequent_contact_max_gap_days=1.0,
+        seed=seed,
+    )

@@ -1,0 +1,37 @@
+"""Wire messages and transmission-medium models."""
+
+from repro.net.hello import (
+    build_hello,
+    derive_cliques,
+    exchange_hellos,
+    full_connectivity,
+)
+from repro.net.medium import (
+    BroadcastMedium,
+    ContactBudget,
+    PairwiseMedium,
+    TransmissionMedium,
+    budget_from_duration,
+)
+from repro.net.messages import (
+    HELLO_INTERVAL,
+    HelloMessage,
+    MetadataMessage,
+    PieceMessage,
+)
+
+__all__ = [
+    "build_hello",
+    "derive_cliques",
+    "exchange_hellos",
+    "full_connectivity",
+    "BroadcastMedium",
+    "ContactBudget",
+    "PairwiseMedium",
+    "TransmissionMedium",
+    "budget_from_duration",
+    "HELLO_INTERVAL",
+    "HelloMessage",
+    "MetadataMessage",
+    "PieceMessage",
+]

@@ -1,0 +1,91 @@
+"""Hello-beacon protocol: presence, queries and clique derivation (§III-B).
+
+Nodes beacon at least once per second; each hello carries the sender's
+id, the ids heard in the last five seconds, its query strings and the
+URIs it is downloading. From the received hellos every node derives the
+symmetric can-hear graph and its communication cliques (§V).
+
+Trace-driven simulations get clique membership for free from the
+contact records, so by default the engine trusts them. Setting
+``SimulationConfig.derive_cliques_from_hellos`` routes contact
+processing through this module instead: hellos are synthesized from
+node state, the neighbor graph is rebuilt from them, and the clique
+partition is recomputed — the full protocol path, byte-for-byte what a
+deployment would run on radio silence + beacons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping
+
+from repro.core.node import NodeState
+from repro.net.messages import HELLO_NEIGHBOR_WINDOW, HelloMessage
+from repro.sim.cliques import neighbor_graph_from_hellos, partition_into_cliques
+from repro.types import NodeId
+
+
+def build_hello(
+    state: NodeState, now: float, include_foreign_queries: bool
+) -> HelloMessage:
+    """Synthesize the hello a node would beacon at ``now``."""
+    return HelloMessage(
+        sender=state.node,
+        heard=state.heard_recently(now, HELLO_NEIGHBOR_WINDOW),
+        query_tokens=state.query_tokens(now, include_foreign_queries),
+        downloading=state.wanted_uris(now),
+        sent_at=now,
+    )
+
+
+def exchange_hellos(
+    states: Mapping[NodeId, NodeState],
+    connectivity: Mapping[NodeId, FrozenSet[NodeId]],
+    now: float,
+    rounds: int = 2,
+    include_foreign_queries: bool = False,
+) -> List[HelloMessage]:
+    """Run ``rounds`` beacon rounds over a connectivity graph.
+
+    Every round, each node beacons and every connected listener updates
+    its neighbor table. Two rounds suffice for the ``heard`` sets to
+    stabilize (round one populates tables, round two advertises them),
+    mirroring the 1 Hz / 5 s-window protocol at contact start.
+    Returns the final round's hellos.
+    """
+    if rounds < 1:
+        raise ValueError("need at least one beacon round")
+    hellos: List[HelloMessage] = []
+    for round_index in range(rounds):
+        at = now + float(round_index)
+        hellos = [
+            build_hello(state, at, include_foreign_queries)
+            for __, state in sorted(states.items())
+        ]
+        for hello in hellos:
+            for listener in connectivity.get(hello.sender, frozenset()):
+                if listener in states:
+                    states[listener].neighbor_last_heard[hello.sender] = at
+    return hellos
+
+
+def derive_cliques(
+    states: Mapping[NodeId, NodeState],
+    connectivity: Mapping[NodeId, FrozenSet[NodeId]],
+    now: float,
+) -> List[FrozenSet[NodeId]]:
+    """Beacon, rebuild the can-hear graph from hellos, partition cliques.
+
+    This is the distributed computation of §V realized centrally: the
+    information used (hello ``heard`` sets) is exactly what every
+    member receives, so each member could compute the same partition
+    locally.
+    """
+    hellos = exchange_hellos(states, connectivity, now)
+    graph = neighbor_graph_from_hellos(hellos)
+    partition = partition_into_cliques(graph)
+    return [clique for clique in partition if len(clique) >= 2]
+
+
+def full_connectivity(members: FrozenSet[NodeId]) -> Dict[NodeId, FrozenSet[NodeId]]:
+    """Connectivity map of a trace contact: everyone hears everyone."""
+    return {node: members - {node} for node in members}

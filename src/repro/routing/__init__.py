@@ -1,0 +1,28 @@
+"""Classic DTN unicast routing substrate.
+
+The paper situates itself against DTN routing work (§II-A): epidemic
+flooding, spray-and-wait and PRoPHET are the canonical baselines. This
+package implements them over the same :class:`~repro.traces.base.
+ContactTrace` model — they serve as a substrate for comparison
+experiments (e.g. how plain message routing fares at content delivery
+versus MBT's discovery/download split) and as independently tested
+infrastructure.
+"""
+
+from repro.routing.base import Message, RoutingResult, simulate_routing
+from repro.routing.direct import DirectDeliveryRouter
+from repro.routing.epidemic import EpidemicRouter
+from repro.routing.maxprop import MaxPropRouter
+from repro.routing.prophet import ProphetRouter
+from repro.routing.spray_wait import SprayAndWaitRouter
+
+__all__ = [
+    "Message",
+    "RoutingResult",
+    "simulate_routing",
+    "DirectDeliveryRouter",
+    "EpidemicRouter",
+    "MaxPropRouter",
+    "ProphetRouter",
+    "SprayAndWaitRouter",
+]

@@ -1,0 +1,169 @@
+"""Unicast DTN routing: message model and trace-driven simulation.
+
+Routers implement a pair-wise forwarding decision; the simulator walks
+the contact trace, expands clique contacts into ordered pair exchanges,
+enforces a per-contact transfer budget and records deliveries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.traces.base import Contact, ContactTrace
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class Message:
+    """A unicast bundle to be routed through the DTN."""
+
+    msg_id: int
+    source: NodeId
+    destination: NodeId
+    created_at: float
+    ttl: float
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("source and destination must differ")
+        if self.ttl <= 0:
+            raise ValueError("ttl must be positive")
+
+    @property
+    def expires_at(self) -> float:
+        return self.created_at + self.ttl
+
+    def is_live(self, now: float) -> bool:
+        return self.created_at <= now < self.expires_at
+
+
+class Router(ABC):
+    """A DTN routing policy.
+
+    Routers keep all per-node state internally (buffers are owned by
+    the simulator); ``prepare`` is called once before the run so the
+    router can size its tables.
+    """
+
+    name: str = "router"
+
+    def prepare(self, nodes: Sequence[NodeId], messages: Sequence[Message]) -> None:
+        """Hook called once before simulation starts."""
+
+    def on_encounter(self, u: NodeId, v: NodeId, now: float) -> None:
+        """Hook called when ``u`` and ``v`` meet (before forwarding)."""
+
+    @abstractmethod
+    def select_transfers(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        sender_buffer: Set[Message],
+        receiver_buffer: Set[Message],
+        now: float,
+    ) -> List[Message]:
+        """Messages ``sender`` forwards to ``receiver``, in priority order."""
+
+    def on_transfer(self, message: Message, sender: NodeId, receiver: NodeId) -> None:
+        """Hook called after each accepted transfer."""
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """Outcome of one routing simulation."""
+
+    delivered: int
+    generated: int
+    transmissions: int
+    delays: Tuple[float, ...] = field(default=())
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.generated if self.generated else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        return sum(self.delays) / len(self.delays) if self.delays else float("nan")
+
+
+def simulate_routing(
+    trace: ContactTrace,
+    messages: Sequence[Message],
+    router: Router,
+    transfers_per_contact: Optional[int] = None,
+) -> RoutingResult:
+    """Run ``router`` over ``trace`` delivering ``messages``.
+
+    Clique contacts are expanded into all ordered pairs in
+    deterministic order. ``transfers_per_contact`` bounds the number of
+    accepted transfers per contact (None = unbounded).
+    """
+    buffers: Dict[NodeId, Set[Message]] = {node: set() for node in trace.nodes}
+    delivered_at: Dict[int, float] = {}
+    transmissions = 0
+
+    pending = sorted(messages, key=lambda m: (m.created_at, m.msg_id))
+    router.prepare(trace.nodes, pending)
+    next_msg = 0
+
+    for contact in trace:
+        now = contact.start
+        # Inject messages created before this contact.
+        while next_msg < len(pending) and pending[next_msg].created_at <= now:
+            message = pending[next_msg]
+            buffers[message.source].add(message)
+            next_msg += 1
+        _drop_expired(buffers, contact.members, now)
+
+        for u, v in contact.pairs():
+            router.on_encounter(u, v, now)
+
+        budget = transfers_per_contact
+        for u, v in _ordered_pairs(contact):
+            if budget is not None and budget <= 0:
+                break
+            transfers = router.select_transfers(u, v, buffers[u], buffers[v], now)
+            for message in transfers:
+                if budget is not None and budget <= 0:
+                    break
+                if not message.is_live(now) or message in buffers[v]:
+                    continue
+                buffers[v].add(message)
+                router.on_transfer(message, u, v)
+                transmissions += 1
+                if budget is not None:
+                    budget -= 1
+                if message.destination == v and message.msg_id not in delivered_at:
+                    delivered_at[message.msg_id] = now
+
+    delays = tuple(
+        sorted(
+            delivered_at[m.msg_id] - m.created_at
+            for m in messages
+            if m.msg_id in delivered_at
+        )
+    )
+    return RoutingResult(
+        delivered=len(delivered_at),
+        generated=len(messages),
+        transmissions=transmissions,
+        delays=delays,
+    )
+
+
+def _ordered_pairs(contact: Contact) -> Iterable[Tuple[NodeId, NodeId]]:
+    """All ordered pairs of a contact, deterministic order."""
+    members = sorted(contact.members)
+    for u in members:
+        for v in members:
+            if u != v:
+                yield u, v
+
+
+def _drop_expired(
+    buffers: Dict[NodeId, Set[Message]], members: Iterable[NodeId], now: float
+) -> None:
+    for node in members:
+        buffers[node] = {m for m in buffers[node] if m.is_live(now)}

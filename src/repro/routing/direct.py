@@ -1,0 +1,35 @@
+"""Direct delivery: the minimal DTN routing baseline.
+
+The source holds its message until it meets the destination. One copy,
+one transmission per delivery, worst delay — the lower anchor every
+routing comparison needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.routing.base import Message, Router
+from repro.types import NodeId
+
+
+class DirectDeliveryRouter(Router):
+    """Forward a message only to its destination."""
+
+    name = "direct"
+
+    def select_transfers(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        sender_buffer: Set[Message],
+        receiver_buffer: Set[Message],
+        now: float,
+    ) -> List[Message]:
+        selected = [
+            m
+            for m in sender_buffer
+            if m.is_live(now) and m.destination == receiver and m not in receiver_buffer
+        ]
+        selected.sort(key=lambda m: (m.created_at, m.msg_id))
+        return selected

@@ -1,0 +1,37 @@
+"""Epidemic routing: flood every message to every encountered node.
+
+The classic upper-bound baseline (Vahdat & Becker): on contact, a node
+forwards every live message the peer lacks. Delivery ratio is maximal
+for a given trace and budget; transmission cost is the price.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.routing.base import Message, Router
+from repro.types import NodeId
+
+
+class EpidemicRouter(Router):
+    """Forward everything the receiver does not already carry."""
+
+    name = "epidemic"
+
+    def select_transfers(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        sender_buffer: Set[Message],
+        receiver_buffer: Set[Message],
+        now: float,
+    ) -> List[Message]:
+        candidates = [
+            m for m in sender_buffer if m.is_live(now) and m not in receiver_buffer
+        ]
+        # Destination-bound messages first, then oldest first: when a
+        # transfer budget applies, direct deliveries never starve.
+        candidates.sort(
+            key=lambda m: (m.destination != receiver, m.created_at, m.msg_id)
+        )
+        return candidates

@@ -1,0 +1,134 @@
+"""MaxProp routing (Burgess et al., INFOCOM'06 — the paper's ref [18]).
+
+MaxProp is the router designed for UMassDieselNet itself, so it is the
+natural fourth baseline for this substrate. The implementation follows
+the core of the published design:
+
+* **Meeting likelihoods.** Each node keeps a probability vector over
+  peers, updated by *incremental averaging*: on meeting ``v``, node
+  ``u`` sets ``p_u[v] += 1`` and renormalizes the whole vector to sum
+  to 1. Vectors are exchanged on contact (here: readable globally, as
+  the simulator owns all state — equivalent to flooding vectors, which
+  MaxProp assumes are small).
+* **Path costs.** The cost of a path is the sum over its hops of
+  ``1 − p(meet)``; a message's cost to destination is the cheapest such
+  path found by Dijkstra over the likelihood graph.
+* **Transmission order.** New messages (low hop count) go first, then
+  ascending destination cost — MaxProp's head-of-buffer priority.
+* **Delivery clearing.** Delivered message ids are flooded as acks so
+  copies stop consuming transfer budget.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.routing.base import Message, Router
+from repro.types import NodeId
+
+
+class MaxPropRouter(Router):
+    """MaxProp with incremental-averaging likelihoods and ack clearing."""
+
+    name = "maxprop"
+
+    def __init__(self) -> None:
+        #: Raw meeting counters; probabilities are counters normalized.
+        self._meetings: Dict[NodeId, Dict[NodeId, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+        #: Hop counts per (node, msg_id) copy.
+        self._hops: Dict[Tuple[NodeId, int], int] = {}
+        #: Flooded delivery acks.
+        self._acked: Set[int] = set()
+
+    # -- likelihoods -----------------------------------------------------------------
+
+    def on_encounter(self, u: NodeId, v: NodeId, now: float) -> None:
+        """Incremental averaging: bump the met peer, renormalize."""
+        for a, b in ((u, v), (v, u)):
+            self._meetings[a][b] += 1.0
+
+    def meeting_probability(self, u: NodeId, v: NodeId) -> float:
+        """Normalized likelihood that ``u``'s next meeting is ``v``."""
+        counters = self._meetings.get(u)
+        if not counters:
+            return 0.0
+        total = sum(counters.values())
+        return counters.get(v, 0.0) / total if total else 0.0
+
+    def path_cost(self, source: NodeId, destination: NodeId) -> float:
+        """Cheapest sum of (1 − p) hop costs, by Dijkstra.
+
+        Unknown destinations cost infinity; the direct hop is always a
+        candidate.
+        """
+        if source == destination:
+            return 0.0
+        dist: Dict[NodeId, float] = {source: 0.0}
+        heap: List[Tuple[float, NodeId]] = [(0.0, source)]
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if node == destination:
+                return cost
+            if cost > dist.get(node, math.inf):
+                continue
+            counters = self._meetings.get(node)
+            if not counters:
+                continue
+            total = sum(counters.values())
+            if not total:
+                continue
+            for peer, count in counters.items():
+                hop = 1.0 - count / total
+                new_cost = cost + hop
+                if new_cost < dist.get(peer, math.inf):
+                    dist[peer] = new_cost
+                    heapq.heappush(heap, (new_cost, peer))
+        return math.inf
+
+    # -- forwarding ------------------------------------------------------------------
+
+    def select_transfers(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        sender_buffer: Set[Message],
+        receiver_buffer: Set[Message],
+        now: float,
+    ) -> List[Message]:
+        candidates = [
+            m
+            for m in sender_buffer
+            if m.is_live(now)
+            and m not in receiver_buffer
+            and m.msg_id not in self._acked
+        ]
+        # MaxProp priority: destination-bound first, then low hop count
+        # (new messages), then ascending estimated cost via receiver.
+        candidates.sort(
+            key=lambda m: (
+                m.destination != receiver,
+                self._hops.get((sender, m.msg_id), 0),
+                self.path_cost(receiver, m.destination),
+                m.created_at,
+                m.msg_id,
+            )
+        )
+        return candidates
+
+    def on_transfer(self, message: Message, sender: NodeId, receiver: NodeId) -> None:
+        self._hops[(receiver, message.msg_id)] = (
+            self._hops.get((sender, message.msg_id), 0) + 1
+        )
+        if message.destination == receiver:
+            # Delivery ack floods instantly (a simulator simplification;
+            # real MaxProp piggybacks acks on subsequent contacts).
+            self._acked.add(message.msg_id)
+
+    def is_acked(self, msg_id: int) -> bool:
+        """Whether a delivery ack for ``msg_id`` has been issued."""
+        return msg_id in self._acked

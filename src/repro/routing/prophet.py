@@ -1,0 +1,112 @@
+"""PRoPHET routing (Lindgren, Doria, Schelén — ref [10] of the paper).
+
+Probabilistic Routing Protocol using History of Encounters and
+Transitivity. Each node keeps a delivery predictability P(a, b) per
+destination, updated by three rules:
+
+* direct encounter:      P(a,b) ← P(a,b) + (1 − P(a,b)) · P_init
+* aging (per Δt):        P(a,b) ← P(a,b) · γ^(Δt / aging_unit)
+* transitivity:          P(a,c) ← P(a,c) + (1 − P(a,c)) · P(a,b) · P(b,c) · β
+
+A message is forwarded to a peer whose predictability for the
+destination exceeds the carrier's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.routing.base import Message, Router
+from repro.types import HOUR, NodeId
+
+
+class ProphetRouter(Router):
+    """PRoPHET with the standard parameterization."""
+
+    name = "prophet"
+
+    def __init__(
+        self,
+        p_init: float = 0.75,
+        beta: float = 0.25,
+        gamma: float = 0.98,
+        aging_unit: float = HOUR,
+    ) -> None:
+        if not 0.0 < p_init <= 1.0:
+            raise ValueError("p_init must be in (0, 1]")
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        if aging_unit <= 0:
+            raise ValueError("aging_unit must be positive")
+        self._p_init = p_init
+        self._beta = beta
+        self._gamma = gamma
+        self._aging_unit = aging_unit
+        self._pred: Dict[Tuple[NodeId, NodeId], float] = {}
+        self._last_aged: Dict[NodeId, float] = {}
+
+    # -- predictability table -------------------------------------------------------
+
+    def predictability(self, a: NodeId, b: NodeId) -> float:
+        """Current P(a, b) without aging side-effects."""
+        return self._pred.get((a, b), 0.0)
+
+    def _age(self, node: NodeId, now: float) -> None:
+        last = self._last_aged.get(node)
+        self._last_aged[node] = now
+        if last is None or now <= last:
+            return
+        factor = self._gamma ** ((now - last) / self._aging_unit)
+        for key in list(self._pred):
+            if key[0] == node:
+                self._pred[key] *= factor
+
+    def on_encounter(self, u: NodeId, v: NodeId, now: float) -> None:
+        """Apply aging, the direct-encounter rule and transitivity."""
+        self._age(u, now)
+        self._age(v, now)
+        for a, b in ((u, v), (v, u)):
+            p = self.predictability(a, b)
+            self._pred[(a, b)] = p + (1.0 - p) * self._p_init
+        # Transitivity: both directions, over all known third parties.
+        for a, b in ((u, v), (v, u)):
+            p_ab = self.predictability(a, b)
+            for (owner, dest), p_bc in list(self._pred.items()):
+                if owner != b or dest == a:
+                    continue
+                p_ac = self.predictability(a, dest)
+                updated = p_ac + (1.0 - p_ac) * p_ab * p_bc * self._beta
+                self._pred[(a, dest)] = updated
+
+    # -- forwarding ------------------------------------------------------------------
+
+    def select_transfers(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        sender_buffer: Set[Message],
+        receiver_buffer: Set[Message],
+        now: float,
+    ) -> List[Message]:
+        selected: List[Message] = []
+        for message in sender_buffer:
+            if not message.is_live(now) or message in receiver_buffer:
+                continue
+            if message.destination == receiver:
+                selected.append(message)
+                continue
+            if self.predictability(receiver, message.destination) > self.predictability(
+                sender, message.destination
+            ):
+                selected.append(message)
+        selected.sort(
+            key=lambda m: (
+                m.destination != receiver,
+                -self.predictability(receiver, m.destination),
+                m.created_at,
+                m.msg_id,
+            )
+        )
+        return selected

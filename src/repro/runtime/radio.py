@@ -1,0 +1,66 @@
+"""Emulated broadcast radio.
+
+One :class:`EmulatedRadio` models the shared channel of a contact:
+whatever one member puts on the air is delivered — as raw bytes — to
+every other member currently joined. The radio counts frames and bytes
+(the numbers behind the §V capacity argument) and can corrupt frames
+on demand for fault-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.types import NodeId
+
+#: A receive callback: (sender, raw frame bytes) -> None.
+ReceiveHandler = Callable[[NodeId, bytes], None]
+
+
+class EmulatedRadio:
+    """A broadcast domain with byte accounting."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[NodeId, ReceiveHandler] = {}
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.deliveries = 0
+        #: Optional fault hook: (sender, data) -> data to deliver
+        #: (return None to drop the frame entirely).
+        self.fault_hook: Optional[Callable[[NodeId, bytes], Optional[bytes]]] = None
+
+    def join(self, node: NodeId, handler: ReceiveHandler) -> None:
+        """Bring a node into the broadcast domain."""
+        self._handlers[node] = handler
+
+    def leave(self, node: NodeId) -> None:
+        """Remove a node from the broadcast domain."""
+        self._handlers.pop(node, None)
+
+    @property
+    def members(self) -> FrozenSet[NodeId]:
+        return frozenset(self._handlers)
+
+    def broadcast(self, sender: NodeId, data: bytes) -> int:
+        """Put a frame on the air; return the number of receivers.
+
+        The sender must be joined; every other member receives the
+        frame (after the fault hook, if any).
+        """
+        if sender not in self._handlers:
+            raise ValueError(f"sender {sender} is not in the broadcast domain")
+        self.frames_sent += 1
+        self.bytes_sent += len(data)
+        delivered = 0
+        for node, handler in sorted(self._handlers.items()):
+            if node == sender:
+                continue
+            payload: Optional[bytes] = data
+            if self.fault_hook is not None:
+                payload = self.fault_hook(sender, data)
+            if payload is None:
+                continue
+            handler(sender, payload)
+            delivered += 1
+        self.deliveries += delivered
+        return delivered

@@ -1,0 +1,119 @@
+"""Maximal cliques from hello-derived neighbor graphs.
+
+Paper §V: "Since each node periodically sends hello messages, which
+contain the set of IDs of other nodes from which the node can receive
+messages, each node can calculate all the maximum cliques containing
+it." This module implements that computation with a self-contained
+Bron–Kerbosch enumeration (pivoting); the test-suite validates it
+against :func:`networkx.find_cliques`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple
+
+from repro.net.messages import HelloMessage
+from repro.types import NodeId
+
+NeighborGraph = Dict[NodeId, Set[NodeId]]
+
+
+def neighbor_graph_from_hellos(hellos: Iterable[HelloMessage]) -> NeighborGraph:
+    """Build the symmetric can-hear graph from recent hello messages.
+
+    An edge (u, v) exists when *both* directions are confirmed: u heard
+    v's hello and v reports having heard u (or vice versa through v's
+    own hello). One hello from each side suffices because each hello
+    carries the sender's ``heard`` set.
+    """
+    heard_by: Dict[NodeId, Set[NodeId]] = {}
+    for hello in hellos:
+        heard_by.setdefault(hello.sender, set()).update(hello.heard)
+    graph: NeighborGraph = {node: set() for node in heard_by}
+    for u, heard in heard_by.items():
+        for v in heard:
+            if v in heard_by and u in heard_by[v]:
+                graph[u].add(v)
+                graph[v].add(u)
+    return graph
+
+
+def symmetrize(graph: Mapping[NodeId, Iterable[NodeId]]) -> NeighborGraph:
+    """Return a symmetric copy of an adjacency mapping (no self-loops)."""
+    out: NeighborGraph = {node: set() for node in graph}
+    for u, neighbors in graph.items():
+        for v in neighbors:
+            if u == v:
+                continue
+            out.setdefault(u, set()).add(v)
+            out.setdefault(v, set()).add(u)
+    return out
+
+
+def maximal_cliques(graph: Mapping[NodeId, Set[NodeId]]) -> Iterator[FrozenSet[NodeId]]:
+    """Enumerate all maximal cliques (Bron–Kerbosch with pivoting).
+
+    Isolated vertices are yielded as singleton cliques, matching
+    networkx's convention.
+    """
+    nodes: List[NodeId] = sorted(graph)
+    if not nodes:
+        return
+
+    def expand(r: Set[NodeId], p: Set[NodeId], x: Set[NodeId]) -> Iterator[FrozenSet[NodeId]]:
+        if not p and not x:
+            yield frozenset(r)
+            return
+        # Pivot on the vertex with the most candidates to prune branches.
+        pivot = max(p | x, key=lambda u: len(graph[u] & p))
+        for v in sorted(p - graph[pivot]):
+            yield from expand(r | {v}, p & graph[v], x & graph[v])
+            p.remove(v)
+            x.add(v)
+
+    yield from expand(set(), set(nodes), set())
+
+
+def cliques_containing(
+    graph: Mapping[NodeId, Set[NodeId]], node: NodeId
+) -> List[FrozenSet[NodeId]]:
+    """All maximal cliques of ``graph`` that contain ``node``."""
+    return [clique for clique in maximal_cliques(graph) if node in clique]
+
+
+def largest_clique_containing(
+    graph: Mapping[NodeId, Set[NodeId]], node: NodeId
+) -> FrozenSet[NodeId]:
+    """The largest maximal clique containing ``node``.
+
+    Ties break toward the lexicographically smallest member tuple so
+    every node in the same tied clique set picks the same clique.
+    """
+    candidates = cliques_containing(graph, node)
+    if not candidates:
+        raise KeyError(f"node {node} not in graph")
+    return max(candidates, key=lambda c: (len(c), tuple(sorted(c, reverse=True))))
+
+
+def partition_into_cliques(
+    graph: Mapping[NodeId, Set[NodeId]]
+) -> List[FrozenSet[NodeId]]:
+    """Greedy partition of the graph into disjoint cliques.
+
+    The paper assumes communication cliques do not overlap in its
+    traces (§VI-A); when a denser graph is given, we repeatedly peel
+    off the largest maximal clique. Deterministic for a given graph.
+    """
+    remaining: NeighborGraph = {u: set(vs) for u, vs in graph.items()}
+    partition: List[FrozenSet[NodeId]] = []
+    while remaining:
+        best = max(
+            maximal_cliques(remaining),
+            key=lambda c: (len(c), tuple(sorted(c, reverse=True))),
+        )
+        partition.append(best)
+        for u in best:
+            remaining.pop(u, None)
+        for vs in remaining.values():
+            vs -= best
+    return partition

@@ -1,0 +1,370 @@
+"""End-to-end simulation: trace + catalog + MBT protocol + metrics.
+
+Implements the evaluation model of §VI-A:
+
+* a configurable fraction of nodes are Internet access nodes;
+* every day at 12:00 noon, ``files_per_day`` new files (TTL
+  ``ttl_days``) are generated and nodes issue queries by popularity;
+* Internet access nodes sync with the servers right after generation
+  (and can be configured to sync more often);
+* every trace contact triggers one hello/discovery/download exchange
+  with fixed metadata and piece budgets;
+* delivery ratios are measured among the non-Internet-access nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.catalog.adversary import FakeFileFactory
+from repro.catalog.generator import CatalogConfig, CatalogGenerator
+from repro.catalog.metadata import PublisherRegistry
+from repro.catalog.popularity import PopularityTracker
+from repro.catalog.server import FileServer, MetadataServer
+from repro.core.mbt import MobileBitTorrent, ProtocolConfig, ProtocolVariant, SchedulingMode
+from repro.core.node import NodeState
+from repro.net.medium import ContactBudget
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsCollector, SimulationResult
+from repro.traces.base import ContactTrace
+from repro.types import DAY, NodeId, noon_of_day
+
+#: Event priorities: housekeeping before generation before syncs before
+#: contacts when several events share an instant.
+_PRIORITY_EXPIRE = 0
+_PRIORITY_GENERATE = 1
+_PRIORITY_SYNC = 2
+_PRIORITY_CONTACT = 3
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All knobs of one simulation run (paper defaults, §VI-A)."""
+
+    #: Fraction of nodes that can access the Internet (0.1 – 0.9).
+    internet_access_fraction: float = 0.3
+    #: New files generated per day at noon (10 – 100).
+    files_per_day: int = 40
+    #: File (and query) time-to-live in days (1 – 5).
+    ttl_days: float = 3.0
+    #: Metadata transmissions per contact (1 – 10).
+    metadata_per_contact: int = 5
+    #: File/piece transmissions per contact (1 – 10).
+    files_per_contact: int = 5
+    #: Pieces per file (1 = whole-file exchange, the paper's model).
+    pieces_per_file: int = 1
+    #: Protocol variant under test.
+    variant: ProtocolVariant = ProtocolVariant.MBT
+    #: Use the tit-for-tat credit policy and cyclic scheduling.
+    tit_for_tat: bool = False
+    #: Fraction of nodes that are selfish free-riders.
+    selfish_fraction: float = 0.0
+    #: Broadcast medium (paper) or pair-wise baseline.
+    broadcast: bool = True
+    #: Scheduling override; None picks the §V default for the policy.
+    scheduling: Optional[SchedulingMode] = None
+    #: Frequent-contact threshold: max days between meetings
+    #: (3 for DieselNet, 1 for NUS, §VI-A).
+    frequent_contact_max_gap_days: float = 3.0
+    #: Number of simulated days; None = ceil of the trace span.
+    num_days: Optional[int] = None
+    #: Internet sync instants per day for access nodes (>= 1).
+    internet_syncs_per_day: int = 1
+    #: Bound on each node's metadata store (None = unbounded).
+    metadata_capacity: Optional[int] = None
+    #: Eviction policy of bounded stores: popularity | fifo | lru.
+    metadata_policy: str = "popularity"
+    #: Bound on each node's piece buffer, in pieces (None = unbounded).
+    piece_capacity: Optional[int] = None
+    #: Run the full hello-beacon clique-derivation path (§III-B/§V)
+    #: instead of trusting trace contact membership.
+    derive_cliques_from_hellos: bool = False
+    #: Derive per-contact budgets from contact duration and bandwidth
+    #: instead of the fixed counts above (§V's realistic regime).
+    use_duration_budgets: bool = False
+    #: Effective channel bandwidth when duration budgets are on.
+    bandwidth_bytes_per_s: float = 100_000.0
+    #: Pollution attack (§I / §III-B f): fakes mirrored per day...
+    fake_files_per_day: int = 0
+    #: ...seeded into this fraction of nodes (the pirates).
+    malicious_fraction: float = 0.0
+    #: Whether nodes verify metadata signatures (the defence).
+    verify_signatures: bool = True
+    #: §IV-B future work: encrypt pieces and choke zero-credit peers.
+    encrypted_choking: bool = False
+    #: User selection among matched metadata: "all" (evaluation model)
+    #: or "best" (§III-B: pick one — verified publisher, top popularity).
+    selection_policy: str = "all"
+    #: Queries created before this many days are excluded from the
+    #: measured ratios (warm-up: stores and credit start empty).
+    warmup_days: float = 0.0
+    #: Internet-side limits (see ProtocolConfig).
+    pull_limit: int = 5
+    push_limit: int = 10
+    popular_file_downloads: int = 2
+    #: Files each access node proxy-downloads per sync for its peers.
+    proxy_downloads_per_sync: int = 5
+    #: Average standing queries generated per node per day.
+    queries_per_node_per_day: float = 2.0
+    #: When True, the metadata server re-estimates popularities from
+    #: the access nodes' requests in the past 24 h (the paper's §IV-A
+    #: server-side definition) instead of using the generation-time
+    #: ground truth (the paper's simplified evaluation model).
+    track_popularity: bool = False
+    #: Master seed: node roles, catalog and queries all derive from it.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.internet_access_fraction <= 1.0:
+            raise ValueError("internet_access_fraction must be in [0, 1]")
+        if not 0.0 <= self.selfish_fraction <= 1.0:
+            raise ValueError("selfish_fraction must be in [0, 1]")
+        if self.files_per_day < 1:
+            raise ValueError("files_per_day must be >= 1")
+        if self.ttl_days <= 0:
+            raise ValueError("ttl_days must be positive")
+        if self.metadata_per_contact < 0 or self.files_per_contact < 0:
+            raise ValueError("per-contact budgets must be non-negative")
+        if self.internet_syncs_per_day < 1:
+            raise ValueError("internet_syncs_per_day must be >= 1")
+        if not 0.0 <= self.malicious_fraction <= 1.0:
+            raise ValueError("malicious_fraction must be in [0, 1]")
+        if self.fake_files_per_day < 0:
+            raise ValueError("fake_files_per_day must be non-negative")
+
+    def protocol_config(self) -> ProtocolConfig:
+        return ProtocolConfig(
+            variant=self.variant,
+            budget=ContactBudget(
+                metadata=self.metadata_per_contact, pieces=self.files_per_contact
+            ),
+            tit_for_tat=self.tit_for_tat,
+            scheduling=self.scheduling,
+            broadcast=self.broadcast,
+            pull_limit=self.pull_limit,
+            push_limit=self.push_limit,
+            popular_file_downloads=self.popular_file_downloads,
+            proxy_downloads=self.proxy_downloads_per_sync,
+            request_memory=self.ttl_days * DAY,
+            derive_cliques=self.derive_cliques_from_hellos,
+            duration_budgets=self.use_duration_budgets,
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
+            encrypted_choking=self.encrypted_choking,
+        )
+
+    def catalog_config(self) -> CatalogConfig:
+        return CatalogConfig(
+            files_per_day=self.files_per_day,
+            ttl_days=self.ttl_days,
+            pieces_per_file=self.pieces_per_file,
+            queries_per_node_per_day=self.queries_per_node_per_day,
+        )
+
+    def with_variant(self, variant: ProtocolVariant) -> "SimulationConfig":
+        """Copy with a different protocol variant (sweep helper)."""
+        return replace(self, variant=variant)
+
+
+class Simulation:
+    """One runnable simulation over a contact trace."""
+
+    def __init__(self, trace: ContactTrace, config: SimulationConfig) -> None:
+        if trace.num_nodes < 2:
+            raise ValueError("trace must involve at least two nodes")
+        self.trace = trace
+        self.config = config
+        self._rng = random.Random(config.seed)
+
+        nodes = list(trace.nodes)
+        self._access_nodes = self._pick_nodes(nodes, config.internet_access_fraction)
+        self._selfish_nodes = self._pick_nodes(nodes, config.selfish_fraction)
+        self._malicious_nodes = self._pick_nodes(nodes, config.malicious_fraction)
+
+        registry = PublisherRegistry(config.seed)
+        self._registry = registry
+        self._states: Dict[NodeId, NodeState] = {
+            node: NodeState(
+                node=node,
+                registry=registry,
+                internet_access=node in self._access_nodes,
+                selfish=node in self._selfish_nodes,
+                metadata_capacity=config.metadata_capacity,
+                metadata_policy=config.metadata_policy,
+                piece_capacity=config.piece_capacity,
+                verify_signatures=config.verify_signatures,
+                selection_policy=config.selection_policy,
+            )
+            for node in nodes
+        }
+        frequent = trace.frequent_neighbors(config.frequent_contact_max_gap_days)
+        for node, neighbors in frequent.items():
+            self._states[node].frequent_contacts = neighbors
+
+        tracker = (
+            PopularityTracker(population=max(1, len(self._access_nodes)))
+            if config.track_popularity
+            else None
+        )
+        self._metadata_server = MetadataServer(tracker)
+        self._file_server = FileServer()
+        self._metrics = MetricsCollector(measure_from=config.warmup_days * DAY)
+        self._generator = CatalogGenerator(
+            config.catalog_config(), nodes, seed=config.seed, registry=registry
+        )
+        self._fake_factory = (
+            FakeFileFactory(seed=config.seed)
+            if config.fake_files_per_day > 0 and self._malicious_nodes
+            else None
+        )
+        self._engine = MobileBitTorrent(
+            self._states,
+            self._metadata_server,
+            self._file_server,
+            self._metrics,
+            config.protocol_config(),
+        )
+
+    def _pick_nodes(self, nodes: Sequence[NodeId], fraction: float) -> FrozenSet[NodeId]:
+        count = round(fraction * len(nodes))
+        count = min(count, len(nodes))
+        return frozenset(self._rng.sample(list(nodes), count))
+
+    # -- accessors used by tests and examples --------------------------------------
+
+    @property
+    def access_nodes(self) -> FrozenSet[NodeId]:
+        return self._access_nodes
+
+    @property
+    def selfish_nodes(self) -> FrozenSet[NodeId]:
+        return self._selfish_nodes
+
+    @property
+    def malicious_nodes(self) -> FrozenSet[NodeId]:
+        return self._malicious_nodes
+
+    @property
+    def states(self) -> Dict[NodeId, NodeState]:
+        return self._states
+
+    @property
+    def engine(self) -> MobileBitTorrent:
+        return self._engine
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        return self._metrics
+
+    def num_days(self) -> int:
+        if self.config.num_days is not None:
+            return self.config.num_days
+        return max(1, int(-(-self.trace.duration // DAY)))
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the full simulation and return the delivery ratios."""
+        sim = Simulator()
+        days = self.num_days()
+        horizon = days * DAY
+
+        for day in range(days):
+            noon = noon_of_day(day)
+            sim.schedule(noon, self._make_noon_action(day, noon), _PRIORITY_EXPIRE)
+            for k in range(self.config.internet_syncs_per_day):
+                offset = k * DAY / self.config.internet_syncs_per_day
+                at = noon + offset
+                if at < horizon:
+                    sim.schedule(at, self._make_sync_action(at), _PRIORITY_SYNC)
+
+        for contact in self.trace:
+            if contact.start >= horizon:
+                break
+            start = contact.start
+            sim.schedule(
+                start,
+                self._make_contact_action(contact, start),
+                _PRIORITY_CONTACT,
+            )
+
+        sim.run(until=horizon)
+        extra = {
+            "num_days": float(days),
+            "num_contacts": float(len(self.trace)),
+            "access_nodes": float(len(self._access_nodes)),
+            "selfish_nodes": float(len(self._selfish_nodes)),
+            "malicious_nodes": float(len(self._malicious_nodes)),
+            "events": float(sim.events_executed),
+            "metadata_rejected_auth": float(
+                sum(s.stats.metadata_rejected_auth for s in self._states.values())
+            ),
+        }
+        return self._metrics.result(extra)
+
+    def node_report(self) -> List[Dict[str, object]]:
+        """Per-node operational summary after (or during) a run.
+
+        One row per node: role flags, store sizes, send/receive
+        counters and total credit granted — the table
+        ``examples/freerider_incentives.py`` style analyses start from.
+        """
+        rows: List[Dict[str, object]] = []
+        for node in sorted(self._states):
+            state = self._states[node]
+            row: Dict[str, object] = {
+                "node": int(node),
+                "internet_access": state.internet_access,
+                "selfish": state.selfish,
+                "malicious": node in self._malicious_nodes,
+                "metadata_stored": len(state.metadata),
+                "pieces_stored": state.pieces.total_pieces(),
+                "credit_granted": state.credits.total_granted(),
+            }
+            row.update(state.stats.as_dict())
+            rows.append(row)
+        return rows
+
+    def _make_noon_action(self, day: int, noon: float):
+        def action() -> None:
+            self._engine.expire_all(noon)
+            self._metadata_server.refresh_popularities(noon)
+            batch = self._generator.generate_day(day, noon)
+            self._engine.on_daily_batch(batch, noon)
+            self._inject_fakes(batch, noon)
+
+        return action
+
+    def _inject_fakes(self, batch, noon: float) -> None:
+        """Seed today's fake mirrors into the pirate nodes (§I attack)."""
+        if self._fake_factory is None:
+            return
+        fakes = self._fake_factory.make_fakes(
+            batch, self.config.fake_files_per_day
+        )
+        for fake in fakes.metadata:
+            for node in sorted(self._malicious_nodes):
+                state = self._states[node]
+                # Pirates store their own fabrications unverified and
+                # hold the full fake content, ready to serve it.
+                state.metadata.add(fake)
+                state.receive_whole_file(fake.uri, fake.num_pieces)
+
+    def _make_sync_action(self, at: float):
+        def action() -> None:
+            for node in sorted(self._access_nodes):
+                self._engine.internet_sync(node, at)
+
+        return action
+
+    def _make_contact_action(self, contact, at: float):
+        def action() -> None:
+            self._engine.handle_contact(contact, at)
+
+        return action
+
+
+def run_simulation(trace: ContactTrace, config: SimulationConfig) -> SimulationResult:
+    """Convenience one-shot runner."""
+    return Simulation(trace, config).run()

@@ -1,0 +1,112 @@
+"""Trace cleaning utilities for externally sourced contact dumps.
+
+Real trace files (UMassDieselNet dumps, ONE simulator exports) arrive
+with artifacts the simulator must not see: duplicate records,
+overlapping intervals for the same pair, absolute epoch timestamps,
+zero-length contacts. These helpers normalize them into the invariants
+:class:`~repro.traces.base.ContactTrace` expects.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.traces.base import Contact, ContactTrace
+from repro.types import NodeId
+
+
+def shift_to_zero(trace: ContactTrace) -> ContactTrace:
+    """Translate the trace so its first contact starts at time 0.
+
+    Epoch-stamped dumps (seconds since 1970) become simulator-relative.
+    """
+    if not len(trace):
+        return trace
+    offset = trace.start_time
+    contacts = [
+        Contact(c.start - offset, c.end - offset, c.members) for c in trace
+    ]
+    return ContactTrace(contacts, name=f"{trace.name}|zeroed")
+
+
+def merge_overlapping(trace: ContactTrace, gap_tolerance: float = 0.0) -> ContactTrace:
+    """Merge overlapping or near-adjacent contacts of the same member set.
+
+    Two contacts with identical members merge when the later one starts
+    within ``gap_tolerance`` seconds of the earlier one's end. Radio
+    flapping in real dumps shows up as many back-to-back micro-contacts
+    of the same pair; merging restores the actual meeting.
+    """
+    if gap_tolerance < 0:
+        raise ValueError("gap_tolerance must be non-negative")
+    by_members: Dict[FrozenSet[NodeId], List[Contact]] = defaultdict(list)
+    for contact in trace:
+        by_members[contact.members].append(contact)
+
+    merged: List[Contact] = []
+    for members, contacts in by_members.items():
+        contacts.sort(key=lambda c: (c.start, c.end))
+        current_start, current_end = contacts[0].start, contacts[0].end
+        for contact in contacts[1:]:
+            if contact.start <= current_end + gap_tolerance:
+                current_end = max(current_end, contact.end)
+            else:
+                merged.append(Contact(current_start, current_end, members))
+                current_start, current_end = contact.start, contact.end
+        merged.append(Contact(current_start, current_end, members))
+    return ContactTrace(merged, name=f"{trace.name}|merged")
+
+
+def drop_short_contacts(trace: ContactTrace, min_duration: float) -> ContactTrace:
+    """Remove contacts shorter than ``min_duration`` seconds.
+
+    Sub-second blips cannot carry a handshake, let alone a piece.
+    """
+    if min_duration < 0:
+        raise ValueError("min_duration must be non-negative")
+    contacts = [c for c in trace if c.duration >= min_duration]
+    return ContactTrace(contacts, name=f"{trace.name}|>={min_duration:g}s")
+
+
+def clip(trace: ContactTrace, start: float, end: float) -> ContactTrace:
+    """Keep the window [start, end), trimming contacts at the borders."""
+    if end <= start:
+        raise ValueError("window must be non-empty")
+    contacts: List[Contact] = []
+    for contact in trace:
+        s = max(contact.start, start)
+        e = min(contact.end, end)
+        if e > s:
+            contacts.append(Contact(s, e, contact.members))
+    return ContactTrace(contacts, name=f"{trace.name}|clip")
+
+
+def relabel_nodes(trace: ContactTrace) -> Tuple[ContactTrace, Dict[NodeId, NodeId]]:
+    """Renumber nodes densely as 0..n−1; return trace and the mapping.
+
+    External dumps use sparse device ids; dense ids keep downstream
+    arrays compact. The returned mapping goes old id → new id.
+    """
+    mapping = {old: NodeId(new) for new, old in enumerate(trace.nodes)}
+    contacts = [
+        Contact(c.start, c.end, frozenset(mapping[m] for m in c.members))
+        for c in trace
+    ]
+    return ContactTrace(contacts, name=f"{trace.name}|relabel"), mapping
+
+
+def sanitize(
+    trace: ContactTrace,
+    min_duration: float = 1.0,
+    merge_gap: float = 5.0,
+) -> ContactTrace:
+    """The standard cleaning pipeline for external dumps.
+
+    merge flapping → drop blips → shift to zero → dense node ids.
+    """
+    cleaned = merge_overlapping(trace, gap_tolerance=merge_gap)
+    cleaned = drop_short_contacts(cleaned, min_duration)
+    cleaned = shift_to_zero(cleaned)
+    cleaned, __ = relabel_nodes(cleaned)
+    return ContactTrace(list(cleaned), name=f"{trace.name}|sanitized")

@@ -1,0 +1,131 @@
+"""Unit tests for clique computation, validated against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.net.messages import HelloMessage
+from repro.sim.cliques import (
+    cliques_containing,
+    largest_clique_containing,
+    maximal_cliques,
+    neighbor_graph_from_hellos,
+    partition_into_cliques,
+    symmetrize,
+)
+from repro.types import NodeId
+
+from conftest import random_symmetric_graph
+
+
+def nx_cliques(graph) -> set:
+    g = nx.Graph()
+    g.add_nodes_from(graph)
+    for u, neighbors in graph.items():
+        for v in neighbors:
+            g.add_edge(u, v)
+    return {frozenset(c) for c in nx.find_cliques(g)}
+
+
+class TestMaximalCliques:
+    def test_triangle(self):
+        graph = symmetrize({NodeId(0): {NodeId(1), NodeId(2)}, NodeId(1): {NodeId(2)}})
+        cliques = set(maximal_cliques(graph))
+        assert cliques == {frozenset({0, 1, 2})}
+
+    def test_path_graph(self):
+        graph = symmetrize({NodeId(0): {NodeId(1)}, NodeId(1): {NodeId(2)}})
+        cliques = set(maximal_cliques(graph))
+        assert cliques == {frozenset({0, 1}), frozenset({1, 2})}
+
+    def test_isolated_vertex_is_singleton_clique(self):
+        graph = {NodeId(0): set(), NodeId(1): {NodeId(2)}, NodeId(2): {NodeId(1)}}
+        cliques = set(maximal_cliques(graph))
+        assert frozenset({0}) in cliques
+
+    def test_empty_graph(self):
+        assert list(maximal_cliques({})) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("edge_prob", [0.1, 0.3, 0.6])
+    def test_matches_networkx_on_random_graphs(self, seed, edge_prob):
+        graph = random_symmetric_graph(12, edge_prob, seed)
+        ours = set(maximal_cliques(graph))
+        assert ours == nx_cliques(graph)
+
+
+class TestCliquesContaining:
+    def test_returns_only_cliques_with_node(self):
+        graph = symmetrize({NodeId(0): {NodeId(1)}, NodeId(1): {NodeId(2)}})
+        for clique in cliques_containing(graph, NodeId(0)):
+            assert NodeId(0) in clique
+
+    def test_largest_clique_containing(self):
+        graph = symmetrize(
+            {
+                NodeId(0): {NodeId(1), NodeId(2), NodeId(3)},
+                NodeId(1): {NodeId(2)},
+                NodeId(3): set(),
+            }
+        )
+        assert largest_clique_containing(graph, NodeId(0)) == frozenset({0, 1, 2})
+
+    def test_largest_clique_unknown_node(self):
+        with pytest.raises(KeyError):
+            largest_clique_containing({NodeId(0): set()}, NodeId(5))
+
+
+class TestPartition:
+    def test_partition_disjoint_and_covering(self):
+        graph = random_symmetric_graph(15, 0.4, seed=3)
+        parts = partition_into_cliques(graph)
+        seen = set()
+        for part in parts:
+            assert not (part & seen)
+            seen |= part
+        assert seen == set(graph)
+
+    def test_partition_parts_are_cliques(self):
+        graph = random_symmetric_graph(12, 0.5, seed=4)
+        for part in partition_into_cliques(graph):
+            members = sorted(part)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    assert v in graph[u]
+
+    def test_partition_deterministic(self):
+        graph = random_symmetric_graph(12, 0.5, seed=5)
+        assert partition_into_cliques(graph) == partition_into_cliques(graph)
+
+
+class TestHelloGraph:
+    def hello(self, sender: int, heard: list) -> HelloMessage:
+        return HelloMessage(
+            sender=NodeId(sender),
+            heard=frozenset(NodeId(h) for h in heard),
+            query_tokens=(),
+            downloading=frozenset(),
+            sent_at=0.0,
+        )
+
+    def test_bidirectional_hearing_creates_edge(self):
+        graph = neighbor_graph_from_hellos([self.hello(1, [2]), self.hello(2, [1])])
+        assert NodeId(2) in graph[NodeId(1)]
+        assert NodeId(1) in graph[NodeId(2)]
+
+    def test_unidirectional_hearing_is_not_an_edge(self):
+        graph = neighbor_graph_from_hellos([self.hello(1, [2]), self.hello(2, [])])
+        assert NodeId(2) not in graph[NodeId(1)]
+
+    def test_unknown_neighbor_ignored(self):
+        # Node 3 never sent a hello, so it cannot be confirmed.
+        graph = neighbor_graph_from_hellos([self.hello(1, [3])])
+        assert graph == {NodeId(1): set()}
+
+    def test_classroom_forms_clique(self):
+        members = [1, 2, 3, 4]
+        hellos = [self.hello(m, [o for o in members if o != m]) for m in members]
+        graph = neighbor_graph_from_hellos(hellos)
+        cliques = set(maximal_cliques(graph))
+        assert cliques == {frozenset(NodeId(m) for m in members)}

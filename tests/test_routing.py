@@ -1,0 +1,214 @@
+"""Unit tests for the DTN unicast routing substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing.base import Message, RoutingResult, simulate_routing
+from repro.routing.epidemic import EpidemicRouter
+from repro.routing.prophet import ProphetRouter
+from repro.routing.spray_wait import SprayAndWaitRouter
+from repro.traces.base import ContactTrace
+from repro.traces.dieselnet import DieselNetConfig, generate_dieselnet_trace
+from repro.types import DAY, NodeId
+
+from conftest import pair_contact
+
+
+def msg(msg_id: int, src: int, dst: int, created: float = 0.0, ttl: float = 10 * DAY):
+    return Message(msg_id, NodeId(src), NodeId(dst), created, ttl)
+
+
+def chain_trace() -> ContactTrace:
+    """0 meets 1, then 1 meets 2, then 2 meets 3 (a forwarding chain)."""
+    return ContactTrace(
+        [
+            pair_contact(100.0, 110.0, 0, 1),
+            pair_contact(200.0, 210.0, 1, 2),
+            pair_contact(300.0, 310.0, 2, 3),
+        ]
+    )
+
+
+class TestMessage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            msg(0, 1, 1)
+        with pytest.raises(ValueError):
+            Message(0, NodeId(0), NodeId(1), 0.0, 0.0)
+
+    def test_lifetime(self):
+        m = msg(0, 0, 1, created=10.0, ttl=10.0)
+        assert not m.is_live(9.0)
+        assert m.is_live(15.0)
+        assert not m.is_live(20.0)
+
+
+class TestEpidemic:
+    def test_delivers_along_chain(self):
+        result = simulate_routing(chain_trace(), [msg(0, 0, 3)], EpidemicRouter())
+        assert result.delivered == 1
+        assert result.delivery_ratio == 1.0
+        assert result.delays == (300.0,)
+
+    def test_ttl_prevents_delivery(self):
+        result = simulate_routing(
+            chain_trace(), [msg(0, 0, 3, ttl=250.0)], EpidemicRouter()
+        )
+        assert result.delivered == 0
+
+    def test_message_created_after_contact_not_forwarded(self):
+        result = simulate_routing(
+            chain_trace(), [msg(0, 0, 3, created=150.0)], EpidemicRouter()
+        )
+        # Node 0 never meets anyone after 150s.
+        assert result.delivered == 0
+
+    def test_transmissions_counted(self):
+        result = simulate_routing(chain_trace(), [msg(0, 0, 3)], EpidemicRouter())
+        assert result.transmissions == 3
+
+    def test_budget_limits_transfers(self):
+        messages = [msg(i, 0, 3) for i in range(5)]
+        unlimited = simulate_routing(chain_trace(), messages, EpidemicRouter())
+        limited = simulate_routing(
+            chain_trace(), messages, EpidemicRouter(), transfers_per_contact=1
+        )
+        assert limited.transmissions < unlimited.transmissions
+        assert limited.delivered <= unlimited.delivered
+
+    def test_direct_delivery_prioritized_under_budget(self):
+        trace = ContactTrace([pair_contact(10.0, 20.0, 0, 1)])
+        messages = [msg(0, 0, 2), msg(1, 0, 1)]  # msg 1 is for node 1
+        result = simulate_routing(
+            trace, messages, EpidemicRouter(), transfers_per_contact=1
+        )
+        assert result.delivered == 1
+
+    def test_mean_delay_nan_when_nothing_delivered(self):
+        result = simulate_routing(chain_trace(), [msg(0, 3, 0)], EpidemicRouter())
+        assert result.delivered == 0
+        assert result.mean_delay != result.mean_delay  # NaN
+
+    def test_empty_message_set(self):
+        result = simulate_routing(chain_trace(), [], EpidemicRouter())
+        assert result.generated == 0
+        assert result.delivery_ratio == 0.0
+
+
+class TestSprayAndWait:
+    def test_direct_contact_always_delivers(self):
+        trace = ContactTrace([pair_contact(10.0, 20.0, 0, 1)])
+        result = simulate_routing(trace, [msg(0, 0, 1)], SprayAndWaitRouter(1))
+        assert result.delivered == 1
+
+    def test_single_copy_waits(self):
+        # With one copy, node 0 hands nothing to relay 1.
+        result = simulate_routing(
+            chain_trace(), [msg(0, 0, 3)], SprayAndWaitRouter(initial_copies=1)
+        )
+        assert result.delivered == 0
+
+    def test_enough_copies_traverse_chain(self):
+        result = simulate_routing(
+            chain_trace(), [msg(0, 0, 3)], SprayAndWaitRouter(initial_copies=8)
+        )
+        assert result.delivered == 1
+
+    def test_binary_split_of_tokens(self):
+        router = SprayAndWaitRouter(initial_copies=8)
+        trace = ContactTrace([pair_contact(10.0, 20.0, 0, 1)])
+        simulate_routing(trace, [msg(0, 0, 5)], router)
+        assert router.tokens_of(NodeId(0), 0) == 4
+        assert router.tokens_of(NodeId(1), 0) == 4
+
+    def test_copies_bounded_by_initial(self):
+        router = SprayAndWaitRouter(initial_copies=4)
+        trace = generate_dieselnet_trace(DieselNetConfig(num_buses=10, num_days=3), 0)
+        message = msg(0, int(trace.nodes[0]), int(trace.nodes[1]))
+        simulate_routing(trace, [message], router)
+        total = sum(router.tokens_of(node, 0) for node in trace.nodes)
+        assert total <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SprayAndWaitRouter(initial_copies=0)
+
+    def test_fewer_transmissions_than_epidemic(self):
+        trace = generate_dieselnet_trace(DieselNetConfig(num_buses=12, num_days=4), 1)
+        messages = [
+            msg(i, int(trace.nodes[i % 6]), int(trace.nodes[-1 - i % 6]), created=0.0)
+            for i in range(10)
+        ]
+        epidemic = simulate_routing(trace, messages, EpidemicRouter())
+        spray = simulate_routing(trace, messages, SprayAndWaitRouter(4))
+        assert spray.transmissions < epidemic.transmissions
+        assert spray.delivered <= epidemic.delivered
+
+
+class TestProphet:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            ProphetRouter(p_init=0.0)
+        with pytest.raises(ValueError):
+            ProphetRouter(beta=2.0)
+        with pytest.raises(ValueError):
+            ProphetRouter(gamma=0.0)
+        with pytest.raises(ValueError):
+            ProphetRouter(aging_unit=0.0)
+
+    def test_encounter_raises_predictability(self):
+        router = ProphetRouter()
+        router.on_encounter(NodeId(0), NodeId(1), now=0.0)
+        assert router.predictability(NodeId(0), NodeId(1)) == pytest.approx(0.75)
+        router.on_encounter(NodeId(0), NodeId(1), now=1.0)
+        assert router.predictability(NodeId(0), NodeId(1)) > 0.75
+
+    def test_aging_decays_predictability(self):
+        router = ProphetRouter(gamma=0.9)
+        router.on_encounter(NodeId(0), NodeId(1), now=0.0)
+        before = router.predictability(NodeId(0), NodeId(1))
+        router.on_encounter(NodeId(0), NodeId(2), now=3600.0 * 10)
+        assert router.predictability(NodeId(0), NodeId(1)) < before
+
+    def test_transitivity(self):
+        router = ProphetRouter()
+        router.on_encounter(NodeId(1), NodeId(2), now=0.0)
+        # Node 0 meets node 1, which knows node 2.
+        router.on_encounter(NodeId(0), NodeId(1), now=1.0)
+        assert router.predictability(NodeId(0), NodeId(2)) > 0.0
+
+    def test_forwards_toward_better_carrier(self):
+        router = ProphetRouter()
+        # Node 1 frequently meets node 3; node 0 never does.
+        for t in range(5):
+            router.on_encounter(NodeId(1), NodeId(3), now=float(t))
+        message = msg(0, 0, 3)
+        transfers = router.select_transfers(
+            NodeId(0), NodeId(1), {message}, set(), now=10.0
+        )
+        assert transfers == [message]
+        # And not in the other direction.
+        back = router.select_transfers(NodeId(1), NodeId(0), {message}, set(), now=10.0)
+        assert back == []
+
+    def test_delivers_on_chain_with_history(self):
+        # Warm-up meetings teach the gradient, then a message flows.
+        warmup = []
+        for day in range(3):
+            base = day * DAY
+            warmup.append(pair_contact(base + 100.0, base + 110.0, 0, 1))
+            warmup.append(pair_contact(base + 200.0, base + 210.0, 1, 2))
+        trace = ContactTrace(warmup)
+        result = simulate_routing(
+            trace, [msg(0, 0, 2, created=DAY)], ProphetRouter()
+        )
+        assert result.delivered == 1
+
+
+class TestRoutingResult:
+    def test_ratio_and_delay(self):
+        result = RoutingResult(delivered=2, generated=4, transmissions=9,
+                               delays=(10.0, 30.0))
+        assert result.delivery_ratio == 0.5
+        assert result.mean_delay == 20.0

@@ -1,0 +1,126 @@
+"""Unit tests for the mobility-model trace generators."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.traces.mobility import (
+    CommunityConfig,
+    RandomWaypointConfig,
+    community_of_nodes,
+    generate_community_trace,
+    generate_random_waypoint_trace,
+)
+from repro.types import HOUR
+
+FAST_RWP = RandomWaypointConfig(
+    num_nodes=12, area_size=500.0, radio_range=60.0, tick=30.0, duration=4 * HOUR
+)
+FAST_COMMUNITY = CommunityConfig(
+    num_nodes=16, num_communities=3, area_size=1200.0, community_radius=150.0,
+    radio_range=60.0, tick=30.0, duration=4 * HOUR,
+)
+
+
+class TestConfigs:
+    def test_rwp_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(num_nodes=1)
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(min_speed=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(min_speed=5.0, max_speed=1.0)
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(min_pause=10.0, max_pause=5.0)
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(tick=0.0)
+
+    def test_community_validation(self):
+        with pytest.raises(ValueError):
+            CommunityConfig(num_communities=0)
+        with pytest.raises(ValueError):
+            CommunityConfig(roaming_probability=1.5)
+        with pytest.raises(ValueError):
+            CommunityConfig(community_radius=0.0)
+
+
+class TestRandomWaypoint:
+    def test_deterministic_per_seed(self):
+        a = generate_random_waypoint_trace(FAST_RWP, seed=1)
+        b = generate_random_waypoint_trace(FAST_RWP, seed=1)
+        assert [(c.start, c.members) for c in a] == [(c.start, c.members) for c in b]
+
+    def test_seed_changes_trace(self):
+        a = generate_random_waypoint_trace(FAST_RWP, seed=1)
+        b = generate_random_waypoint_trace(FAST_RWP, seed=2)
+        assert [(c.start, c.members) for c in a] != [(c.start, c.members) for c in b]
+
+    def test_contacts_pairwise_and_within_duration(self):
+        trace = generate_random_waypoint_trace(FAST_RWP, seed=1)
+        assert len(trace) > 0
+        for contact in trace:
+            assert contact.size == 2
+            assert 0.0 <= contact.start <= FAST_RWP.duration
+            assert contact.duration >= FAST_RWP.tick
+
+    def test_contact_durations_multiple_of_sampling(self):
+        trace = generate_random_waypoint_trace(FAST_RWP, seed=1)
+        for contact in trace:
+            # Extraction merges tick-aligned samples.
+            assert contact.duration >= FAST_RWP.tick - 1e-9
+
+    def test_larger_radio_range_more_contacts(self):
+        small = generate_random_waypoint_trace(FAST_RWP, seed=3)
+        big_config = RandomWaypointConfig(
+            num_nodes=12, area_size=500.0, radio_range=150.0, tick=30.0,
+            duration=4 * HOUR,
+        )
+        big = generate_random_waypoint_trace(big_config, seed=3)
+        assert len(big) >= len(small)
+
+    def test_nodes_within_population(self):
+        trace = generate_random_waypoint_trace(FAST_RWP, seed=1)
+        assert set(trace.nodes) <= set(range(FAST_RWP.num_nodes))
+
+
+class TestCommunity:
+    def test_deterministic_per_seed(self):
+        a = generate_community_trace(FAST_COMMUNITY, seed=5)
+        b = generate_community_trace(FAST_COMMUNITY, seed=5)
+        assert [(c.start, c.members) for c in a] == [(c.start, c.members) for c in b]
+
+    def test_produces_contacts(self):
+        trace = generate_community_trace(FAST_COMMUNITY, seed=5)
+        assert len(trace) > 0
+
+    def test_same_community_pairs_meet_more(self):
+        # Communities induce locality: most contact mass is intra-community.
+        trace = generate_community_trace(FAST_COMMUNITY, seed=5)
+        homes = community_of_nodes(FAST_COMMUNITY)
+        counts = Counter()
+        for contact in trace:
+            for u, v in contact.pairs():
+                key = "same" if homes[u] == homes[v] else "cross"
+                counts[key] += 1
+        assert counts["same"] > counts["cross"]
+
+    def test_home_assignment_round_robin(self):
+        homes = community_of_nodes(FAST_COMMUNITY)
+        assert len(homes) == FAST_COMMUNITY.num_nodes
+        assert set(homes) == set(range(FAST_COMMUNITY.num_communities))
+
+    def test_zero_roaming_still_runs(self):
+        config = CommunityConfig(
+            num_nodes=8, num_communities=2, area_size=800.0,
+            community_radius=100.0, roaming_probability=0.0,
+            radio_range=60.0, tick=30.0, duration=2 * HOUR,
+        )
+        trace = generate_community_trace(config, seed=1)
+        homes = community_of_nodes(config)
+        # With no roaming, all contacts are intra-community.
+        for contact in trace:
+            communities = {homes[m] for m in contact.members}
+            assert len(communities) == 1
