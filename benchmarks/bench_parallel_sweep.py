@@ -1,0 +1,66 @@
+"""Parallel execution kernel: correctness and wall-clock scaling.
+
+Runs one DieselNet sweep grid twice through :func:`repro.exec.run_many`
+— serially and with four worker processes — and checks that
+
+* the parallel results are *bitwise identical* to the serial ones
+  (same delivery ratios, same counters, run for run), and
+* on a machine with >= 4 cores, four workers cut the wall clock by at
+  least 2x (the ISSUE's multicore acceptance bar; on smaller machines
+  the speedup is reported but not asserted).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.exec import TraceSpec, run_many
+from repro.experiments.sweep import sweep_specs
+from repro.experiments.figures import ACCESS_FRACTIONS, _sweep_access
+from repro.experiments.workloads import dieselnet_base_config, dieselnet_trace
+
+JOBS = 4
+SPEEDUP_TARGET = 2.0
+
+
+def _grid_specs():
+    return sweep_specs(
+        x_values=ACCESS_FRACTIONS,
+        trace_factory=lambda x, seed: TraceSpec.of(dieselnet_trace, "fast", seed),
+        config_factory=_sweep_access,
+        base_config=dieselnet_base_config(),
+        seeds=(0,),
+    )
+
+
+def test_parallel_sweep_matches_serial_and_scales(benchmark):
+    specs = _grid_specs()
+
+    t0 = time.perf_counter()
+    serial = run_many(specs, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: run_many(specs, jobs=JOBS), rounds=1, iterations=1
+    )
+    parallel_s = time.perf_counter() - t0
+
+    assert len(parallel) == len(serial) == len(specs)
+    for ser, par in zip(serial, parallel):
+        assert par.spec == ser.spec
+        assert par.result.to_dict() == ser.result.to_dict()
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    print()
+    print(
+        f"{len(specs)} runs: serial {serial_s:.2f}s, "
+        f"{JOBS} workers {parallel_s:.2f}s -> {speedup:.2f}x on {cores} cores"
+    )
+    if cores >= JOBS:
+        assert speedup >= SPEEDUP_TARGET, (
+            f"expected >= {SPEEDUP_TARGET}x speedup with {JOBS} workers on "
+            f"{cores} cores, measured {speedup:.2f}x"
+        )

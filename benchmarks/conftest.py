@@ -7,10 +7,15 @@ the qualitative *shape* the paper reports (who wins, which way the
 curves move). Absolute values differ from the paper — the traces are
 synthetic rebuilds — but the orderings and trends are the reproduction
 target (see EXPERIMENTS.md).
+
+All panels execute through the shared kernel (:mod:`repro.exec`); set
+``REPRO_BENCH_JOBS=4`` to fan each sweep grid out over four worker
+processes (results are identical to serial, only the wall clock moves).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Sequence
 
 from repro.experiments.sweep import SweepResult
@@ -18,15 +23,29 @@ from repro.experiments.sweep import SweepResult
 #: Seeds averaged per sweep cell in benchmarks (1 keeps CI fast).
 BENCH_SEEDS = (0,)
 
+#: Worker processes per sweep grid (the kernel's ``jobs``), from the
+#: environment so CI and local runs can scale without code changes.
+def _bench_jobs() -> int:
+    raw = os.environ.get("REPRO_BENCH_JOBS", "1")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise SystemExit(f"REPRO_BENCH_JOBS must be an integer, got {raw!r}") from None
+
+
+BENCH_JOBS = _bench_jobs()
+
 #: Tolerance for "A >= B" protocol-ordering assertions: a single-seed
 #: cell can wobble a few percent, which is noise, not a shape change.
 ORDER_TOLERANCE = 0.06
 
 
 def run_panel(benchmark, figure: Callable[..., SweepResult]) -> SweepResult:
-    """Benchmark one figure sweep and print its table."""
+    """Benchmark one figure sweep (through the kernel) and print its table."""
     result = benchmark.pedantic(
-        lambda: figure(scale="fast", seeds=BENCH_SEEDS), rounds=1, iterations=1
+        lambda: figure(scale="fast", seeds=BENCH_SEEDS, jobs=BENCH_JOBS),
+        rounds=1,
+        iterations=1,
     )
     print()
     print(result.format_table())

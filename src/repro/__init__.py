@@ -19,6 +19,7 @@ True
 """
 
 from repro.core.mbt import MobileBitTorrent, ProtocolConfig, ProtocolVariant, SchedulingMode
+from repro.exec import RunResult, RunSpec, TraceSpec, execute, run_many
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import Simulation, SimulationConfig, run_simulation
 from repro.traces.base import Contact, ContactTrace
@@ -32,6 +33,11 @@ __all__ = [
     "ProtocolConfig",
     "ProtocolVariant",
     "SchedulingMode",
+    "RunResult",
+    "RunSpec",
+    "TraceSpec",
+    "execute",
+    "run_many",
     "SimulationResult",
     "Simulation",
     "SimulationConfig",

@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``        one simulation on a generated trace, printed as a table
+``sweep``      figure sweeps through the parallel execution kernel
 ``figures``    regenerate paper figure panels (same engine as the benchmarks)
 ``trace``      generate a trace, print its statistics, optionally save it
 ``stats``      statistics of a saved trace file
@@ -13,6 +14,9 @@ Examples
 ::
 
     python -m repro run --trace dieselnet --access 0.3 --files-per-day 40
+    python -m repro run --trace nus --counters        # instrumentation dump
+    python -m repro sweep fig3a --jobs 4              # 4 worker processes
+    python -m repro sweep --all --jobs 4 --format csv
     python -m repro figures fig3a --scale fast
     python -m repro trace --kind nus --seed 7 --out campus.trace
     python -m repro stats campus.trace
@@ -40,6 +44,13 @@ from repro.traces.mobility import (
 )
 
 TRACE_KINDS = ("dieselnet", "nus", "rwp", "community")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _build_trace(kind: str, seed: int, scale: str = "fast") -> ContactTrace:
@@ -87,12 +98,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
         return 0
     print(f"{'protocol':>8}{'metadata':>10}{'file':>8}{'queries':>9}")
+    results = {}
     for variant in variants:
         result = Simulation(trace, config.with_variant(variant)).run()
+        results[variant.value] = result
         print(
             f"{variant.value:>8}{result.metadata_delivery_ratio:>10.3f}"
             f"{result.file_delivery_ratio:>8.3f}{result.queries_generated:>9}"
         )
+    if args.counters:
+        from repro.sim.metrics import format_counters
+
+        for name, result in results.items():
+            print(f"\n-- {name} instrumentation counters --")
+            print(format_counters(result.counters))
     return 0
 
 
@@ -102,8 +121,34 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         print("name at least one panel or pass --all", file=sys.stderr)
         return 2
     for name in names:
-        result = FIGURES[name](scale=args.scale, seeds=tuple(args.seeds))
+        result = FIGURES[name](
+            scale=args.scale, seeds=tuple(args.seeds), jobs=args.jobs
+        )
         print(result.format_table())
+        print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Figure sweeps through the kernel, with report-format output."""
+    from repro.experiments.report import sweep_to_csv, sweep_to_json, sweep_to_markdown
+
+    names = sorted(FIGURES) if args.all else args.panels
+    if not names:
+        print("name at least one panel or pass --all", file=sys.stderr)
+        return 2
+    renderers = {
+        "table": lambda r: r.format_table(),
+        "csv": sweep_to_csv,
+        "markdown": sweep_to_markdown,
+        "json": sweep_to_json,
+    }
+    render = renderers[args.format]
+    for name in names:
+        result = FIGURES[name](
+            scale=args.scale, seeds=tuple(args.seeds), jobs=args.jobs
+        )
+        print(render(result))
         print()
     return 0
 
@@ -161,6 +206,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true",
                      help="emit results as JSON instead of a table")
+    run.add_argument("--counters", action="store_true",
+                     help="also print the instrumentation counters")
     run.set_defaults(handler=_cmd_run)
 
     figures = sub.add_parser("figures", help="regenerate paper figure panels")
@@ -168,7 +215,23 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--all", action="store_true")
     figures.add_argument("--scale", choices=("fast", "paper"), default="fast")
     figures.add_argument("--seeds", type=int, nargs="+", default=[0])
+    figures.add_argument("--jobs", type=_positive_int, default=1,
+                         help="worker processes for the sweep grid")
     figures.set_defaults(handler=_cmd_figures)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="figure sweeps through the parallel execution kernel",
+    )
+    sweep.add_argument("panels", nargs="*", choices=[*sorted(FIGURES), []])
+    sweep.add_argument("--all", action="store_true")
+    sweep.add_argument("--scale", choices=("fast", "paper"), default="fast")
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[0])
+    sweep.add_argument("--jobs", type=_positive_int, default=1,
+                       help="worker processes (1 = serial, same results)")
+    sweep.add_argument("--format", choices=("table", "csv", "markdown", "json"),
+                       default="table")
+    sweep.set_defaults(handler=_cmd_sweep)
 
     trace = sub.add_parser("trace", help="generate a synthetic trace")
     trace.add_argument("--kind", choices=TRACE_KINDS, default="dieselnet")

@@ -120,6 +120,42 @@ class ProtocolConfig:
         return BroadcastMedium() if self.broadcast else PairwiseMedium()
 
 
+@dataclass
+class EngineCounters:
+    """Aggregate protocol-engine activity counters for one run.
+
+    Where the per-node :class:`~repro.core.node.NodeStats` answer "what
+    did node i do", these answer "what did the engine do" — the
+    denominators every performance investigation starts from.
+    """
+
+    #: Trace contacts handled by :meth:`MobileBitTorrent.handle_contact`.
+    contacts_processed: int = 0
+    #: Communication cliques processed (>= contacts when hello-derived).
+    cliques_processed: int = 0
+    #: Hello beacons exchanged (one per node per clique).
+    hello_exchanges: int = 0
+    #: Successful metadata broadcasts/unicasts.
+    metadata_transmissions: int = 0
+    #: Successful piece broadcasts/unicasts.
+    piece_transmissions: int = 0
+    #: Receivers denied a piece key by encrypted choking (§IV-B).
+    choked_sends: int = 0
+    #: Internet sessions performed by access nodes.
+    internet_syncs: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "contacts_processed": self.contacts_processed,
+            "cliques_processed": self.cliques_processed,
+            "hello_exchanges": self.hello_exchanges,
+            "metadata_transmissions": self.metadata_transmissions,
+            "piece_transmissions": self.piece_transmissions,
+            "choked_sends": self.choked_sends,
+            "internet_syncs": self.internet_syncs,
+        }
+
+
 class _MutableMetaCandidate:
     """Scheduler-internal mutable view of a metadata candidate."""
 
@@ -171,6 +207,7 @@ class MobileBitTorrent:
         self._metrics = metrics
         self._config = config
         self._medium = config.medium()
+        self.counters = EngineCounters()
 
     @property
     def states(self) -> Mapping[NodeId, NodeState]:
@@ -212,6 +249,7 @@ class MobileBitTorrent:
         if not state.internet_access:
             return
         state.stats.internet_syncs += 1
+        self.counters.internet_syncs += 1
 
         # Pull: metadata matching own queries (and foreign ones under MBT).
         own = state.own_queries(now)
@@ -303,12 +341,14 @@ class MobileBitTorrent:
 
     def handle_contact(self, contact: Contact, now: float) -> None:
         """Process one contact: hellos, discovery phase, download phase."""
+        self.counters.contacts_processed += 1
         if self._config.derive_cliques:
             cliques = self._cliques_via_hellos(contact, now)
         else:
             cliques = [contact.members]
         budget = self._contact_budget(contact)
         for members in cliques:
+            self.counters.cliques_processed += 1
             states = {node: self._states[node] for node in members}
             self._exchange_hellos(states, now)
             if self._config.variant.distributes_metadata:
@@ -341,6 +381,7 @@ class MobileBitTorrent:
     def _exchange_hellos(self, states: Mapping[NodeId, NodeState], now: float) -> None:
         """Mutual hello reception; MBT also stores frequent contacts' queries."""
         wanted = {node: state.wanted_uris(now) for node, state in states.items()}
+        self.counters.hello_exchanges += len(states)
         for node, state in states.items():
             for peer in states:
                 if peer != node:
@@ -475,6 +516,7 @@ class MobileBitTorrent:
         if not receivers:
             return False
         states[sender].stats.metadata_sent += 1
+        self.counters.metadata_transmissions += 1
         self._metrics.count_metadata_transmission(len(receivers))
         record = cand.metadata
         for receiver in receivers:
@@ -645,10 +687,13 @@ class MobileBitTorrent:
         if not receivers:
             return False
         if self._config.encrypted_choking:
-            receivers = self._unchoked(states[sender], receivers)
+            unchoked = self._unchoked(states[sender], receivers)
+            self.counters.choked_sends += len(receivers) - len(unchoked)
+            receivers = unchoked
             if not receivers:
                 return False
         states[sender].stats.pieces_sent += 1
+        self.counters.piece_transmissions += 1
         self._metrics.count_piece_transmission(len(receivers))
         record = cand.metadata
         payload = piece_payload(record.uri, cand.index, self._config.payload_length)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.catalog.files import PieceStore
+from repro.catalog.files import IntegrityError, PieceStore
 from repro.catalog.metadata import Metadata, PublisherRegistry, verify_metadata
 from repro.catalog.query import Query
 from repro.core.credits import CreditLedger
@@ -39,6 +39,9 @@ class NodeStats:
     pieces_sent: int = 0
     files_completed: int = 0
     internet_syncs: int = 0
+    metadata_evictions: int = 0
+    piece_evictions: int = 0
+    checksum_rejections: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -51,6 +54,9 @@ class NodeStats:
             "pieces_sent": self.pieces_sent,
             "files_completed": self.files_completed,
             "internet_syncs": self.internet_syncs,
+            "metadata_evictions": self.metadata_evictions,
+            "piece_evictions": self.piece_evictions,
+            "checksum_rejections": self.checksum_rejections,
         }
 
 
@@ -86,6 +92,8 @@ class MetadataStore:
             raise ValueError(f"unknown eviction policy {policy!r}")
         self._capacity = capacity
         self._policy = policy
+        #: Records evicted (not expired) over the store's lifetime.
+        self.evictions = 0
         #: Insertion-ordered; LRU moves entries to the end on access.
         self._records: Dict[Uri, Metadata] = {}
 
@@ -155,6 +163,7 @@ class MetadataStore:
             # are the earliest entry in the ordered dict.
             victim = victims[0]
         del self._records[victim.uri]
+        self.evictions += 1
 
     def drop_expired(self, now: float) -> List[Uri]:
         """Remove expired records; return removed URIs."""
@@ -359,7 +368,9 @@ class NodeState:
             protected = self.protected_uris(now)
         else:
             protected = frozenset()
+        evictions_before = self.metadata.evictions
         new = self.metadata.add(metadata, protected=protected, now=now)
+        self.stats.metadata_evictions += self.metadata.evictions - evictions_before
         if new:
             self.stats.metadata_received += 1
             self._version += 1
@@ -379,7 +390,11 @@ class NodeState:
         """
         if not self._make_room_for_piece(uri, now):
             return False
-        new = self.pieces.add(uri, index, payload, checksum)
+        try:
+            new = self.pieces.add(uri, index, payload, checksum)
+        except IntegrityError:
+            self.stats.checksum_rejections += 1
+            raise
         if new:
             self.stats.pieces_received += 1
             self._version += 1
@@ -413,6 +428,7 @@ class NodeState:
                 if not victims:
                     return True  # buffer holds only this file's pieces
             victim = min(victims, key=self._eviction_key)
+            self.stats.piece_evictions += len(self.pieces.pieces_of(victim))
             self.pieces.drop(victim)
             self._version += 1
         return True

@@ -1,0 +1,282 @@
+"""The shared execution kernel: picklable run specs + process fan-out.
+
+Every experiment harness in the repository — figure sweeps, multi-seed
+campaigns, the benchmark suite and the CLI — reduces to the same
+primitive: *run one simulation for one (trace, config) pair*. This
+module makes that primitive a first-class, picklable value so a flat
+list of runs can be executed serially or fanned out across worker
+processes with bitwise-identical results:
+
+* :class:`TraceSpec` — a declarative, picklable description of how to
+  build a contact trace (a dotted-path builder plus arguments, or a
+  literal pre-built trace);
+* :class:`RunSpec` — one run: a trace spec, a
+  :class:`~repro.sim.runner.SimulationConfig` and an optional seed
+  override, plus an opaque ``tag`` that round-trips to the result;
+* :func:`execute` — the pure mapping ``RunSpec -> RunResult``;
+* :func:`run_many` — ``map(execute, specs)`` over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``,
+  preserving input order.
+
+Determinism
+-----------
+``execute`` derives all randomness from the spec: the trace builder is
+seeded by the spec's arguments and the simulation by
+``config.seed`` (or the spec's ``seed`` override), each through its own
+``random.Random`` instance. No module-level RNG is consulted, so the
+results are independent of execution order and of the process the run
+lands in — ``run_many(specs, jobs=4)`` equals ``jobs=1`` exactly.
+
+Trace caching
+-------------
+Building a trace can rival the simulation itself in cost, and a sweep
+reuses one trace across many (x, protocol) cells. ``execute`` therefore
+caches built traces in a small per-process table keyed by the *full*
+trace spec (builder path + every argument). Each worker process builds
+any distinct trace at most once; literal traces bypass the cache (they
+are already built and travel inside the pickled spec).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import Simulation, SimulationConfig
+from repro.traces.base import ContactTrace
+
+__all__ = [
+    "RunResult",
+    "RunSpec",
+    "TraceSpec",
+    "as_trace_spec",
+    "derive_seed",
+    "execute",
+    "resolve_callable",
+    "run_many",
+    "trace_cache_info",
+]
+
+
+def resolve_callable(fn: Callable[..., Any]) -> Optional[str]:
+    """Dotted ``"module:qualname"`` path of ``fn``, or None.
+
+    Only module-level callables resolve (closures and lambdas carry
+    ``<locals>`` or ``<lambda>`` in their qualname and cannot be
+    re-imported by a worker). The path is validated by importing it
+    back and checking identity.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname:
+        return None
+    if "<locals>" in qualname or "<lambda>" in qualname:
+        return None
+    try:
+        target: Any = importlib.import_module(module)
+        for part in qualname.split("."):
+            target = getattr(target, part)
+    except (ImportError, AttributeError):
+        return None
+    return f"{module}:{qualname}" if target is fn else None
+
+
+def _import_callable(path: str) -> Callable[..., Any]:
+    module, _, qualname = path.partition(":")
+    target: Any = importlib.import_module(module)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    return target
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Picklable recipe for one contact trace.
+
+    Exactly one of two forms:
+
+    * **builder** — ``builder`` names a module-level callable as
+      ``"module:qualname"``; :meth:`build` imports and calls it with
+      ``args``/``kwargs``. Cheap to pickle and cacheable by value.
+    * **literal** — ``trace`` holds a pre-built
+      :class:`~repro.traces.base.ContactTrace`. The trace itself is
+      pickled to workers; caching is unnecessary.
+    """
+
+    builder: Optional[str] = None
+    args: Tuple[Any, ...] = ()
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    trace: Optional[ContactTrace] = None
+
+    def __post_init__(self) -> None:
+        if (self.builder is None) == (self.trace is None):
+            raise ValueError("TraceSpec needs exactly one of builder= or trace=")
+
+    @classmethod
+    def of(cls, fn: Callable[..., ContactTrace], *args: Any, **kwargs: Any) -> "TraceSpec":
+        """Spec for a module-level trace builder and its arguments."""
+        path = resolve_callable(fn)
+        if path is None:
+            raise ValueError(
+                f"{fn!r} is not an importable module-level callable; "
+                "use TraceSpec.literal(...) for traces built by closures"
+            )
+        return cls(builder=path, args=tuple(args), kwargs=tuple(sorted(kwargs.items())))
+
+    @classmethod
+    def literal(cls, trace: ContactTrace) -> "TraceSpec":
+        """Spec wrapping an already-built trace."""
+        return cls(trace=trace)
+
+    @property
+    def cache_key(self) -> Optional[Tuple[Any, ...]]:
+        """Hashable identity for the per-worker cache (None = uncached)."""
+        if self.builder is None:
+            return None
+        key = (self.builder, self.args, self.kwargs)
+        try:
+            hash(key)
+        except TypeError:
+            return None  # unhashable builder arguments: rebuild every time
+        return key
+
+    def build(self) -> ContactTrace:
+        """Materialize the trace (no caching; see :func:`execute`)."""
+        if self.trace is not None:
+            return self.trace
+        assert self.builder is not None
+        fn = _import_callable(self.builder)
+        return fn(*self.args, **dict(self.kwargs))
+
+
+def as_trace_spec(obj: "TraceSpec | ContactTrace") -> TraceSpec:
+    """Coerce a trace-or-spec into a spec (legacy factories return traces)."""
+    if isinstance(obj, TraceSpec):
+        return obj
+    if isinstance(obj, ContactTrace):
+        return TraceSpec.literal(obj)
+    raise TypeError(f"expected TraceSpec or ContactTrace, got {type(obj).__name__}")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run, fully described by picklable data.
+
+    ``seed`` (when not None) overrides ``config.seed``; ``tag`` is an
+    opaque tuple of ``(key, value)`` pairs that round-trips unchanged to
+    the :class:`RunResult`, letting consumers map a flat result list
+    back onto their grid (x value, protocol, seed, …).
+    """
+
+    trace: TraceSpec
+    config: SimulationConfig
+    seed: Optional[int] = None
+    tag: Tuple[Tuple[str, Any], ...] = ()
+
+    def resolved_config(self) -> SimulationConfig:
+        """The config actually run (seed override applied)."""
+        if self.seed is None:
+            return self.config
+        return replace(self.config, seed=self.seed)
+
+    def labels(self) -> Dict[str, Any]:
+        """The tag as a plain dict."""
+        return dict(self.tag)
+
+    @staticmethod
+    def make_tag(**labels: Any) -> Tuple[Tuple[str, Any], ...]:
+        """Build a deterministic tag tuple from keyword labels."""
+        return tuple(sorted(labels.items()))
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of :func:`execute`: the spec, its result and wall time."""
+
+    spec: RunSpec
+    result: SimulationResult
+    wall_time: float
+
+
+def derive_seed(*components: Any) -> int:
+    """Deterministic 63-bit seed derived from arbitrary components.
+
+    Stable across processes and Python invocations (unlike ``hash``,
+    which is salted): hashes the repr of the components with SHA-256.
+    Use to give each run of a family an independent but reproducible
+    RNG stream: ``derive_seed(base_seed, "sweep", x, index)``.
+    """
+    digest = hashlib.sha256(repr(components).encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+#: Per-process trace cache: full spec key -> built trace. Bounded so a
+#: long-lived worker sweeping many trace parameters cannot grow without
+#: limit; eviction is FIFO (sweeps revisit recent specs, not old ones).
+_TRACE_CACHE: Dict[Tuple[Any, ...], ContactTrace] = {}
+_TRACE_CACHE_LIMIT = 16
+_TRACE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def _trace_for(spec: TraceSpec) -> ContactTrace:
+    key = spec.cache_key
+    if key is None:
+        return spec.build()
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None:
+        _TRACE_CACHE_STATS["hits"] += 1
+        return cached
+    _TRACE_CACHE_STATS["misses"] += 1
+    trace = spec.build()
+    if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
+        _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+    _TRACE_CACHE[key] = trace
+    return trace
+
+
+def trace_cache_info() -> Dict[str, int]:
+    """Hit/miss counters of this process's trace cache (diagnostics)."""
+    return {"size": len(_TRACE_CACHE), **_TRACE_CACHE_STATS}
+
+
+def execute(spec: RunSpec) -> RunResult:
+    """Run one spec to completion (pure: output depends only on the spec)."""
+    start = time.perf_counter()
+    trace = _trace_for(spec.trace)
+    result = Simulation(trace, spec.resolved_config()).run()
+    return RunResult(spec=spec, result=result, wall_time=time.perf_counter() - start)
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[RunResult]:
+    """Execute every spec, preserving input order.
+
+    ``jobs`` <= 1 (the default) runs serially in-process; larger values
+    fan out over a :class:`ProcessPoolExecutor` with ``jobs`` workers.
+    Results are identical either way — specs are self-contained and
+    :func:`execute` consults no shared mutable state. ``chunksize``
+    tunes how many specs each worker pulls at once (default: enough to
+    give every worker a handful of contiguous specs, which also keeps
+    the per-worker trace cache warm since neighbouring specs in a sweep
+    share a trace).
+    """
+    specs = list(specs)
+    if jobs is None:
+        jobs = 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(specs) <= 1:
+        return [execute(spec) for spec in specs]
+    workers = min(jobs, len(specs))
+    if chunksize is None:
+        chunksize = max(1, len(specs) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(execute, specs, chunksize=chunksize))

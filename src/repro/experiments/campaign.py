@@ -10,16 +10,18 @@ separation check (do the one-standard-deviation intervals overlap?).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
+from repro.exec import RunSpec, TraceSpec, as_trace_spec, run_many
 from repro.sim.metrics import SimulationResult
-from repro.sim.runner import Simulation, SimulationConfig
+from repro.sim.runner import SimulationConfig
 from repro.traces.base import ContactTrace
 
 #: Builds the trace for a seed (campaigns regenerate per seed so trace
-#: randomness is part of the measured spread).
-TraceFactory = Callable[[int], ContactTrace]
+#: randomness is part of the measured spread). May return a built
+#: :class:`ContactTrace` or a picklable :class:`~repro.exec.TraceSpec`.
+TraceFactory = Callable[[int], Union[ContactTrace, TraceSpec]]
 
 
 @dataclass(frozen=True)
@@ -65,22 +67,24 @@ class CampaignResult:
     results: Tuple[SimulationResult, ...]
 
 
-def repeat(
+def campaign_specs(
     name: str,
     trace_factory: TraceFactory,
     config: SimulationConfig,
     seeds: Sequence[int],
-) -> CampaignResult:
-    """Run one configuration across ``seeds`` (trace + roles re-seeded)."""
-    if not seeds:
-        raise ValueError("need at least one seed")
-    results: List[SimulationResult] = []
-    for seed in seeds:
-        trace = trace_factory(seed)
-        seeded = config.with_variant(config.variant)
-        from dataclasses import replace
+) -> List[RunSpec]:
+    """Kernel run specs for one configuration across ``seeds``."""
+    return [
+        RunSpec(
+            trace=as_trace_spec(trace_factory(seed)),
+            config=replace(config, seed=seed),
+            tag=RunSpec.make_tag(campaign=name, seed=int(seed)),
+        )
+        for seed in seeds
+    ]
 
-        results.append(Simulation(trace, replace(seeded, seed=seed)).run())
+
+def _assemble(name: str, results: Sequence[SimulationResult]) -> CampaignResult:
     return CampaignResult(
         name=name,
         metadata=Spread.of([r.metadata_delivery_ratio for r in results]),
@@ -89,15 +93,42 @@ def repeat(
     )
 
 
+def repeat(
+    name: str,
+    trace_factory: TraceFactory,
+    config: SimulationConfig,
+    seeds: Sequence[int],
+    jobs: int = 1,
+) -> CampaignResult:
+    """Run one configuration across ``seeds`` (trace + roles re-seeded).
+
+    ``jobs`` fans the seeds out over worker processes via the shared
+    execution kernel; the spread is identical for any job count.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runs = run_many(campaign_specs(name, trace_factory, config, seeds), jobs=jobs)
+    return _assemble(name, [run.result for run in runs])
+
+
 def compare(
     configs: Dict[str, SimulationConfig],
     trace_factory: TraceFactory,
     seeds: Sequence[int],
+    jobs: int = 1,
 ) -> List[CampaignResult]:
-    """Run several named configurations on identical seeds."""
+    """Run several named configurations on identical seeds.
+
+    The whole configuration × seed grid is flattened into one spec list
+    before fan-out, so ``jobs`` workers stay busy across configuration
+    boundaries instead of draining one configuration at a time.
+    """
+    specs: List[RunSpec] = []
+    for name, config in configs.items():
+        specs.extend(campaign_specs(name, trace_factory, config, seeds))
+    runs = iter(run_many(specs, jobs=jobs))
     return [
-        repeat(name, trace_factory, config, seeds)
-        for name, config in configs.items()
+        _assemble(name, [next(runs).result for __ in seeds]) for name in configs
     ]
 
 

@@ -11,7 +11,14 @@ student trace:
     (f) attendance rate (NUS only)
 
 Every function accepts a ``scale`` ("fast" for CI-sized runs, "paper"
-for full-sized ones) and a seed list to average over.
+for full-sized ones), a seed list to average over, and ``jobs`` — the
+worker-process count handed to the shared execution kernel
+(:mod:`repro.exec`); ``jobs=4`` runs the panel's x × protocol × seed
+grid four runs at a time with results identical to serial execution.
+
+Trace factories return :class:`~repro.exec.TraceSpec` values (a dotted
+builder path plus arguments) rather than built traces, so specs stay
+cheap to pickle and each worker builds any distinct trace exactly once.
 """
 
 from __future__ import annotations
@@ -19,7 +26,8 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict, Sequence
 
-from repro.experiments.sweep import SweepResult, cached_trace_factory, run_sweep
+from repro.exec import TraceSpec
+from repro.experiments.sweep import SweepResult, run_sweep
 from repro.experiments.workloads import (
     Scale,
     dieselnet_base_config,
@@ -61,143 +69,185 @@ def _sweep_seed_only(config: SimulationConfig, x: float, seed: int) -> Simulatio
     return replace(config, seed=seed)
 
 
+def _dieselnet_spec(scale: Scale) -> Callable[[float, int], TraceSpec]:
+    """Spec factory for the DieselNet trace (x-independent)."""
+    return lambda x, seed: TraceSpec.of(dieselnet_trace, scale, seed)
+
+
+def _nus_spec(scale: Scale) -> Callable[[float, int], TraceSpec]:
+    """Spec factory for the NUS trace (x-independent)."""
+    return lambda x, seed: TraceSpec.of(nus_trace, scale, seed)
+
+
 # ----------------------------------------------------------------- Figure 2
 
 
-def fig2a(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+def fig2a(
+    scale: Scale = "fast", seeds: Sequence[int] = (0,), jobs: int = 1
+) -> SweepResult:
     """Fig. 2(a): delivery vs % of Internet-access nodes (DieselNet)."""
     return run_sweep(
         name="Fig 2(a) DieselNet — Internet-access fraction",
         x_label="access fraction",
         x_values=ACCESS_FRACTIONS,
-        trace_factory=cached_trace_factory(lambda seed: dieselnet_trace(scale, seed)),
+        trace_factory=_dieselnet_spec(scale),
         config_factory=_sweep_access,
         base_config=dieselnet_base_config(),
         seeds=seeds,
+        jobs=jobs,
     )
 
 
-def fig2b(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+def fig2b(
+    scale: Scale = "fast", seeds: Sequence[int] = (0,), jobs: int = 1
+) -> SweepResult:
     """Fig. 2(b): delivery vs new files per day (DieselNet)."""
     return run_sweep(
         name="Fig 2(b) DieselNet — new files per day",
         x_label="files/day",
         x_values=FILES_PER_DAY,
-        trace_factory=cached_trace_factory(lambda seed: dieselnet_trace(scale, seed)),
+        trace_factory=_dieselnet_spec(scale),
         config_factory=_sweep_files_per_day,
         base_config=dieselnet_base_config(),
         seeds=seeds,
+        jobs=jobs,
     )
 
 
-def fig2c(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+def fig2c(
+    scale: Scale = "fast", seeds: Sequence[int] = (0,), jobs: int = 1
+) -> SweepResult:
     """Fig. 2(c): delivery vs file TTL in days (DieselNet)."""
     return run_sweep(
         name="Fig 2(c) DieselNet — file TTL (days)",
         x_label="TTL (days)",
         x_values=TTL_DAYS,
-        trace_factory=cached_trace_factory(lambda seed: dieselnet_trace(scale, seed)),
+        trace_factory=_dieselnet_spec(scale),
         config_factory=_sweep_ttl,
         base_config=dieselnet_base_config(),
         seeds=seeds,
+        jobs=jobs,
     )
 
 
-def fig2d(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+def fig2d(
+    scale: Scale = "fast", seeds: Sequence[int] = (0,), jobs: int = 1
+) -> SweepResult:
     """Fig. 2(d): delivery vs metadata per contact (DieselNet)."""
     return run_sweep(
         name="Fig 2(d) DieselNet — metadata per contact",
         x_label="metadata/contact",
         x_values=PER_CONTACT_BUDGETS,
-        trace_factory=cached_trace_factory(lambda seed: dieselnet_trace(scale, seed)),
+        trace_factory=_dieselnet_spec(scale),
         config_factory=_sweep_meta_budget,
         base_config=dieselnet_base_config(),
         seeds=seeds,
+        jobs=jobs,
     )
 
 
-def fig2e(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+def fig2e(
+    scale: Scale = "fast", seeds: Sequence[int] = (0,), jobs: int = 1
+) -> SweepResult:
     """Fig. 2(e): delivery vs files per contact (DieselNet)."""
     return run_sweep(
         name="Fig 2(e) DieselNet — files per contact",
         x_label="files/contact",
         x_values=PER_CONTACT_BUDGETS,
-        trace_factory=cached_trace_factory(lambda seed: dieselnet_trace(scale, seed)),
+        trace_factory=_dieselnet_spec(scale),
         config_factory=_sweep_file_budget,
         base_config=dieselnet_base_config(),
         seeds=seeds,
+        jobs=jobs,
     )
 
 
 # ----------------------------------------------------------------- Figure 3
 
 
-def fig3a(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+def fig3a(
+    scale: Scale = "fast", seeds: Sequence[int] = (0,), jobs: int = 1
+) -> SweepResult:
     """Fig. 3(a): delivery vs % of Internet-access nodes (NUS)."""
     return run_sweep(
         name="Fig 3(a) NUS — Internet-access fraction",
         x_label="access fraction",
         x_values=ACCESS_FRACTIONS,
-        trace_factory=cached_trace_factory(lambda seed: nus_trace(scale, seed)),
+        trace_factory=_nus_spec(scale),
         config_factory=_sweep_access,
         base_config=nus_base_config(),
         seeds=seeds,
+        jobs=jobs,
     )
 
 
-def fig3b(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+def fig3b(
+    scale: Scale = "fast", seeds: Sequence[int] = (0,), jobs: int = 1
+) -> SweepResult:
     """Fig. 3(b): delivery vs new files per day (NUS)."""
     return run_sweep(
         name="Fig 3(b) NUS — new files per day",
         x_label="files/day",
         x_values=FILES_PER_DAY,
-        trace_factory=cached_trace_factory(lambda seed: nus_trace(scale, seed)),
+        trace_factory=_nus_spec(scale),
         config_factory=_sweep_files_per_day,
         base_config=nus_base_config(),
         seeds=seeds,
+        jobs=jobs,
     )
 
 
-def fig3c(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+def fig3c(
+    scale: Scale = "fast", seeds: Sequence[int] = (0,), jobs: int = 1
+) -> SweepResult:
     """Fig. 3(c): delivery vs file TTL in days (NUS)."""
     return run_sweep(
         name="Fig 3(c) NUS — file TTL (days)",
         x_label="TTL (days)",
         x_values=TTL_DAYS,
-        trace_factory=cached_trace_factory(lambda seed: nus_trace(scale, seed)),
+        trace_factory=_nus_spec(scale),
         config_factory=_sweep_ttl,
         base_config=nus_base_config(),
         seeds=seeds,
+        jobs=jobs,
     )
 
 
-def fig3d(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+def fig3d(
+    scale: Scale = "fast", seeds: Sequence[int] = (0,), jobs: int = 1
+) -> SweepResult:
     """Fig. 3(d): delivery vs metadata per contact (NUS)."""
     return run_sweep(
         name="Fig 3(d) NUS — metadata per contact",
         x_label="metadata/contact",
         x_values=PER_CONTACT_BUDGETS,
-        trace_factory=cached_trace_factory(lambda seed: nus_trace(scale, seed)),
+        trace_factory=_nus_spec(scale),
         config_factory=_sweep_meta_budget,
         base_config=nus_base_config(),
         seeds=seeds,
+        jobs=jobs,
     )
 
 
-def fig3e(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+def fig3e(
+    scale: Scale = "fast", seeds: Sequence[int] = (0,), jobs: int = 1
+) -> SweepResult:
     """Fig. 3(e): delivery vs files per contact (NUS)."""
     return run_sweep(
         name="Fig 3(e) NUS — files per contact",
         x_label="files/contact",
         x_values=PER_CONTACT_BUDGETS,
-        trace_factory=cached_trace_factory(lambda seed: nus_trace(scale, seed)),
+        trace_factory=_nus_spec(scale),
         config_factory=_sweep_file_budget,
         base_config=nus_base_config(),
         seeds=seeds,
+        jobs=jobs,
     )
 
 
-def fig3f(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
+def fig3f(
+    scale: Scale = "fast", seeds: Sequence[int] = (0,), jobs: int = 1
+) -> SweepResult:
     """Fig. 3(f): delivery vs class attendance rate (NUS).
 
     This sweep varies the *trace generator*: each x regenerates the NUS
@@ -207,10 +257,13 @@ def fig3f(scale: Scale = "fast", seeds: Sequence[int] = (0,)) -> SweepResult:
         name="Fig 3(f) NUS — attendance rate",
         x_label="attendance rate",
         x_values=ATTENDANCE_RATES,
-        trace_factory=lambda x, seed: nus_trace(scale, seed, attendance_rate=x),
+        trace_factory=lambda x, seed: TraceSpec.of(
+            nus_trace, scale, seed, attendance_rate=x
+        ),
         config_factory=_sweep_seed_only,
         base_config=nus_base_config(),
         seeds=seeds,
+        jobs=jobs,
     )
 
 

@@ -4,23 +4,34 @@ A sweep varies one x-axis parameter, runs every protocol variant at
 each point (averaging over seeds) and collects both delivery ratios.
 The result renders as an aligned text table — the textual equivalent of
 one figure panel from the paper.
+
+Execution goes through the shared kernel (:mod:`repro.exec`): the
+x × protocol × seed grid is flattened into one list of picklable
+:class:`~repro.exec.RunSpec` values and handed to
+:func:`~repro.exec.run_many`, so ``jobs=N`` fans the whole panel out
+over N worker processes with results identical to serial execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.mbt import ProtocolVariant
-from repro.sim.runner import Simulation, SimulationConfig
+from repro.exec import RunSpec, TraceSpec, as_trace_spec, resolve_callable, run_many
+from repro.sim.runner import SimulationConfig
 from repro.traces.base import ContactTrace
 
 #: A sweep hook: (base config, x value, seed) -> concrete config.
 ConfigFactory = Callable[[SimulationConfig, float, int], SimulationConfig]
-#: A sweep hook: (x value, seed) -> trace (lets sweeps regenerate the
-#: trace per point, e.g. the attendance-rate sweep of Fig. 3(f)).
-TraceFactory = Callable[[float, int], ContactTrace]
+#: A sweep hook: (x value, seed) -> trace to run at that point (lets
+#: sweeps regenerate the trace per point, e.g. the attendance-rate
+#: sweep of Fig. 3(f)). Factories may return either a built
+#: :class:`ContactTrace` or — preferred, because it keeps the spec
+#: picklable and lets each worker build/cache the trace locally — a
+#: :class:`~repro.exec.TraceSpec`.
+TraceFactory = Callable[[float, int], Union[ContactTrace, TraceSpec]]
 
 DEFAULT_PROTOCOLS: Tuple[ProtocolVariant, ...] = (
     ProtocolVariant.MBT,
@@ -88,6 +99,36 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def sweep_specs(
+    x_values: Sequence[float],
+    trace_factory: TraceFactory,
+    config_factory: ConfigFactory,
+    base_config: SimulationConfig,
+    protocols: Sequence[ProtocolVariant] = DEFAULT_PROTOCOLS,
+    seeds: Sequence[int] = (0,),
+) -> List[RunSpec]:
+    """Flatten the x × protocol × seed grid into kernel run specs.
+
+    Spec order is the grid in row-major order (x outermost, seed
+    innermost) — :func:`run_sweep` relies on it when regrouping.
+    """
+    specs: List[RunSpec] = []
+    for x in x_values:
+        for protocol in protocols:
+            for seed in seeds:
+                config = config_factory(base_config, x, seed).with_variant(protocol)
+                specs.append(
+                    RunSpec(
+                        trace=as_trace_spec(trace_factory(x, seed)),
+                        config=config,
+                        tag=RunSpec.make_tag(
+                            x=float(x), protocol=protocol.value, seed=int(seed)
+                        ),
+                    )
+                )
+    return specs
+
+
 def run_sweep(
     name: str,
     x_label: str,
@@ -97,28 +138,30 @@ def run_sweep(
     base_config: SimulationConfig,
     protocols: Sequence[ProtocolVariant] = DEFAULT_PROTOCOLS,
     seeds: Sequence[int] = (0,),
+    jobs: int = 1,
 ) -> SweepResult:
     """Run a full sweep and assemble the panel.
 
     For every (x, protocol) cell, results are averaged over ``seeds``;
     the trace is regenerated per (x, seed) so that sweeps over trace
     parameters and sweeps over protocol parameters share one code path
-    (trace factories that ignore x simply cache).
+    (the kernel's spec-keyed cache makes the regeneration free when the
+    trace does not actually depend on x). ``jobs`` fans the grid out
+    over worker processes; results are identical for any job count.
     """
+    specs = sweep_specs(
+        x_values, trace_factory, config_factory, base_config, protocols, seeds
+    )
+    runs = iter(run_many(specs, jobs=jobs))
     points: List[SweepPoint] = []
     for x in x_values:
         cell: Dict[str, Tuple[float, float]] = {}
         for protocol in protocols:
-            metas: List[float] = []
-            files: List[float] = []
-            for seed in seeds:
-                trace = trace_factory(x, seed)
-                config = config_factory(base_config, x, seed)
-                config = config.with_variant(protocol)
-                result = Simulation(trace, config).run()
-                metas.append(result.metadata_delivery_ratio)
-                files.append(result.file_delivery_ratio)
-            cell[protocol.value] = (mean(metas), mean(files))
+            results = [next(runs).result for __ in seeds]
+            cell[protocol.value] = (
+                mean(r.metadata_delivery_ratio for r in results),
+                mean(r.file_delivery_ratio for r in results),
+            )
         points.append(SweepPoint(x=float(x), ratios=cell))
     return SweepResult(
         name=name,
@@ -130,12 +173,34 @@ def run_sweep(
 
 
 def cached_trace_factory(build: Callable[[int], ContactTrace]) -> TraceFactory:
-    """Wrap a seed-only trace builder with an x-ignoring cache."""
-    cache: Dict[int, ContactTrace] = {}
+    """Adapt a seed-only trace builder to the spec-based sweep path.
 
-    def factory(x: float, seed: int) -> ContactTrace:
+    Historically this wrapped ``build`` with a closure-local dict keyed
+    only by seed — correct serially, but useless under process fan-out
+    (each worker would rebuild from scratch) and wrong for any builder
+    whose output also depended on x. Now:
+
+    * an importable module-level ``build`` becomes a
+      :class:`~repro.exec.TraceSpec` per call, so caching happens in
+      the kernel's per-worker table keyed by the *full* spec (builder
+      path + seed);
+    * a closure or lambda cannot cross a process boundary by name, so
+      it is built once here (per seed — its full call signature) and
+      shipped to workers as a literal spec, which every worker shares.
+    """
+    path = resolve_callable(build)
+    if path is not None:
+
+        def factory(x: float, seed: int) -> TraceSpec:
+            return TraceSpec(builder=path, args=(seed,))
+
+        return factory
+
+    cache: Dict[int, TraceSpec] = {}
+
+    def factory(x: float, seed: int) -> TraceSpec:
         if seed not in cache:
-            cache[seed] = build(seed)
+            cache[seed] = TraceSpec.literal(build(seed))
         return cache[seed]
 
     return factory

@@ -105,6 +105,7 @@ class Simulator:
         self._now = start_time
         self._queue = EventQueue()
         self._events_executed = 0
+        self._events_by_priority: dict[int, int] = {}
 
     @property
     def now(self) -> float:
@@ -115,6 +116,16 @@ class Simulator:
     def events_executed(self) -> int:
         """Number of events that have fired so far."""
         return self._events_executed
+
+    @property
+    def events_by_priority(self) -> dict[int, int]:
+        """Executed-event counts per priority class (copy).
+
+        Priorities are caller-defined; the runner maps its scheduling
+        classes (noon housekeeping, Internet syncs, contacts) onto
+        them, so this breakdown shows where simulation time goes.
+        """
+        return dict(self._events_by_priority)
 
     @property
     def pending_events(self) -> int:
@@ -177,6 +188,9 @@ class Simulator:
         self._now = event.time
         event.action()
         self._events_executed += 1
+        self._events_by_priority[event.priority] = (
+            self._events_by_priority.get(event.priority, 0) + 1
+        )
         return True
 
     def run(self, until: Optional[float] = None) -> None:

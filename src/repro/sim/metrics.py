@@ -39,13 +39,49 @@ class QueryRecord:
         return self.file_delivered_at is not None
 
 
+#: Instrumentation counters recognised by :attr:`SimulationResult.counters`.
+#: Produced by the engine layers and aggregated into ``extra`` by the
+#: runner: discrete-event engine (``events*``), protocol engine
+#: (contacts/cliques/hellos/transmissions/choking/syncs) and node
+#: stores (evictions, rejections).
+COUNTER_KEYS: Tuple[str, ...] = (
+    "events",
+    "events_noon",
+    "events_sync",
+    "events_contact",
+    "contacts_processed",
+    "cliques_processed",
+    "hello_exchanges",
+    "metadata_transmissions",
+    "piece_transmissions",
+    "choked_sends",
+    "internet_syncs",
+    "metadata_evictions",
+    "piece_evictions",
+    "checksum_rejections",
+    "metadata_rejected_auth",
+)
+
+
+def format_counters(counters: Mapping[str, int]) -> str:
+    """Aligned two-column rendering of an instrumentation-counter dict."""
+    if not counters:
+        return "(no counters)"
+    width = max(len(name) for name in counters)
+    return "\n".join(
+        f"{name:>{width}}  {int(value):>12d}" for name, value in counters.items()
+    )
+
+
 @dataclass(frozen=True)
 class SimulationResult:
     """Final outcome of one simulation run.
 
     Ratios are measured among non-Internet-access nodes, per the paper.
     ``extra`` carries auxiliary counters (transmissions, per-node
-    aggregates) for diagnostics and the benchmark tables.
+    aggregates) for diagnostics and the benchmark tables; the
+    instrumentation subset is available pre-filtered via
+    :attr:`counters`.
     """
 
     metadata_delivery_ratio: float
@@ -63,6 +99,19 @@ class SimulationResult:
             f"file {self.file_delivery_ratio:.3f} "
             f"({self.queries_generated} queries from non-access nodes)"
         )
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Instrumentation counters present in ``extra``, as ints.
+
+        Keys follow :data:`COUNTER_KEYS` order; counters a run did not
+        produce (e.g. ``choked_sends`` without encrypted choking is
+        still 0, but pre-instrumentation results lack the key entirely)
+        are omitted rather than invented.
+        """
+        return {
+            key: int(self.extra[key]) for key in COUNTER_KEYS if key in self.extra
+        }
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form, JSON-serializable (for reports and the CLI)."""

@@ -297,11 +297,39 @@ class Simulation:
             "selfish_nodes": float(len(self._selfish_nodes)),
             "malicious_nodes": float(len(self._malicious_nodes)),
             "events": float(sim.events_executed),
-            "metadata_rejected_auth": float(
-                sum(s.stats.metadata_rejected_auth for s in self._states.values())
-            ),
         }
+        extra.update(self._instrumentation(sim))
         return self._metrics.result(extra)
+
+    #: Semantic names of the event-priority classes scheduled above.
+    _PRIORITY_NAMES = {
+        _PRIORITY_EXPIRE: "events_noon",
+        _PRIORITY_SYNC: "events_sync",
+        _PRIORITY_CONTACT: "events_contact",
+    }
+
+    def _instrumentation(self, sim: Simulator) -> Dict[str, float]:
+        """Engine, per-priority and per-node counters for ``extra``.
+
+        The keys land in :data:`repro.sim.metrics.COUNTER_KEYS`, so the
+        result exposes them pre-filtered as ``result.counters``.
+        """
+        counters: Dict[str, float] = {}
+        for priority, count in sim.events_by_priority.items():
+            name = self._PRIORITY_NAMES.get(priority, f"events_priority_{priority}")
+            counters[name] = counters.get(name, 0.0) + float(count)
+        for name, value in self._engine.counters.as_dict().items():
+            counters[name] = float(value)
+        stats = [s.stats for s in self._states.values()]
+        counters["metadata_rejected_auth"] = float(
+            sum(s.metadata_rejected_auth for s in stats)
+        )
+        counters["metadata_evictions"] = float(sum(s.metadata_evictions for s in stats))
+        counters["piece_evictions"] = float(sum(s.piece_evictions for s in stats))
+        counters["checksum_rejections"] = float(
+            sum(s.checksum_rejections for s in stats)
+        )
+        return counters
 
     def node_report(self) -> List[Dict[str, object]]:
         """Per-node operational summary after (or during) a run.
