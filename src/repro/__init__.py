@@ -19,7 +19,8 @@ True
 """
 
 from repro.core.mbt import MobileBitTorrent, ProtocolConfig, ProtocolVariant, SchedulingMode
-from repro.exec import RunResult, RunSpec, TraceSpec, execute, run_many
+from repro.exec import RunError, RunResult, RunSpec, TraceSpec, execute, run_many
+from repro.faults import FaultInjector, FaultPlan
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import Simulation, SimulationConfig, run_simulation
 from repro.traces.base import Contact, ContactTrace
@@ -33,11 +34,14 @@ __all__ = [
     "ProtocolConfig",
     "ProtocolVariant",
     "SchedulingMode",
+    "RunError",
     "RunResult",
     "RunSpec",
     "TraceSpec",
     "execute",
     "run_many",
+    "FaultInjector",
+    "FaultPlan",
     "SimulationResult",
     "Simulation",
     "SimulationConfig",

@@ -213,3 +213,8 @@ class PieceStore:
     def total_pieces(self) -> int:
         """Total number of stored pieces across all URIs."""
         return sum(len(p) for p in self._pieces.values())
+
+    def clear(self) -> None:
+        """Drop every stored piece (node crash with storage loss)."""
+        self._pieces.clear()
+        self._completed.clear()

@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence
 from repro.analysis.capacity import capacity_table
 from repro.core.mbt import ProtocolVariant
 from repro.experiments import FIGURES
+from repro.faults import FaultPlan
 from repro.experiments.workloads import dieselnet_trace, nus_trace
 from repro.sim.runner import Simulation, SimulationConfig
 from repro.traces.base import ContactTrace
@@ -79,6 +80,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         selfish_fraction=args.selfish,
         broadcast=not args.pairwise,
         frequent_contact_max_gap_days=1.0 if args.trace == "nus" else 3.0,
+        faults=FaultPlan(
+            loss_rate=args.loss_rate,
+            corruption_rate=args.corruption_rate,
+            contact_drop_rate=args.contact_drop_rate,
+            churn_rate=args.churn_rate,
+            seed=args.fault_seed,
+        ),
         seed=args.seed,
     )
     variants = (
@@ -203,6 +211,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--selfish", type=float, default=0.0)
     run.add_argument("--pairwise", action="store_true",
                      help="use the pair-wise baseline medium")
+    run.add_argument("--loss-rate", type=float, default=0.0,
+                     help="per-receiver transmission loss probability")
+    run.add_argument("--corruption-rate", type=float, default=0.0,
+                     help="per-transmission piece corruption probability")
+    run.add_argument("--contact-drop-rate", type=float, default=0.0,
+                     help="probability a trace contact never happens")
+    run.add_argument("--churn-rate", type=float, default=0.0,
+                     help="per-node-per-day crash probability")
+    run.add_argument("--fault-seed", type=int, default=0,
+                     help="seed of the fault-injection streams")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true",
                      help="emit results as JSON instead of a table")

@@ -27,13 +27,14 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.catalog.files import piece_payload
+from repro.catalog.files import IntegrityError, piece_payload
 from repro.catalog.generator import DailyBatch
 from repro.catalog.metadata import Metadata
 from repro.catalog.server import FileServer, MetadataServer
 from repro.core import discovery, download
 from repro.core.coordinator import cyclic_order, elect_coordinator
 from repro.core.node import NodeState
+from repro.faults import FaultInjector, corrupt_payload
 from repro.net.medium import BroadcastMedium, ContactBudget, PairwiseMedium, TransmissionMedium
 from repro.sim.metrics import MetricsCollector
 from repro.traces.base import Contact
@@ -200,6 +201,7 @@ class MobileBitTorrent:
         file_server: FileServer,
         metrics: MetricsCollector,
         config: ProtocolConfig,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self._states = dict(states)
         self._metadata_server = metadata_server
@@ -207,6 +209,9 @@ class MobileBitTorrent:
         self._metrics = metrics
         self._config = config
         self._medium = config.medium()
+        self._faults = faults
+        #: Nodes currently crashed by churn injection.
+        self._down: Set[NodeId] = set()
         self.counters = EngineCounters()
 
     @property
@@ -216,6 +221,37 @@ class MobileBitTorrent:
     @property
     def config(self) -> ProtocolConfig:
         return self._config
+
+    # ------------------------------------------------------------------ churn
+
+    @property
+    def down_nodes(self) -> FrozenSet[NodeId]:
+        """Nodes currently crashed by churn injection."""
+        return frozenset(self._down)
+
+    def crash_node(self, node: NodeId, wipe: bool) -> None:
+        """Take a node down; with ``wipe``, its learned state is lost.
+
+        A down node takes part in no contact and performs no Internet
+        sync until :meth:`revive_node`. Crashing an already-down node
+        is a no-op (overlapping churn draws are filtered upstream, but
+        callers need not rely on that).
+        """
+        if node in self._down:
+            return
+        self._down.add(node)
+        if wipe:
+            self._states[node].wipe()
+        if self._faults is not None:
+            self._faults.count("crashes")
+
+    def revive_node(self, node: NodeId) -> None:
+        """Bring a crashed node back up (reboot after downtime)."""
+        if node not in self._down:
+            return
+        self._down.discard(node)
+        if self._faults is not None:
+            self._faults.count("rebirths")
 
     # ------------------------------------------------------------------ catalog
 
@@ -246,7 +282,7 @@ class MobileBitTorrent:
         over the whole population.
         """
         state = self._states[node]
-        if not state.internet_access:
+        if node in self._down or not state.internet_access:
             return
         state.stats.internet_syncs += 1
         self.counters.internet_syncs += 1
@@ -342,11 +378,25 @@ class MobileBitTorrent:
     def handle_contact(self, contact: Contact, now: float) -> None:
         """Process one contact: hellos, discovery phase, download phase."""
         self.counters.contacts_processed += 1
+        budget_scale = 1.0
+        if self._faults is not None:
+            transformed, budget_scale = self._faults.transform_contact(contact)
+            if transformed is None:
+                return
+            contact = transformed
+        if self._down:
+            alive = contact.members - self._down
+            if len(alive) < 2:
+                if self._faults is not None:
+                    self._faults.count("contacts_skipped_down")
+                return
+            if alive != contact.members:
+                contact = Contact(contact.start, contact.end, alive)
         if self._config.derive_cliques:
             cliques = self._cliques_via_hellos(contact, now)
         else:
             cliques = [contact.members]
-        budget = self._contact_budget(contact)
+        budget = self._contact_budget(contact, budget_scale)
         for members in cliques:
             self.counters.cliques_processed += 1
             states = {node: self._states[node] for node in members}
@@ -355,10 +405,15 @@ class MobileBitTorrent:
                 self._run_metadata_phase(states, members, now, budget.metadata)
             self._run_piece_phase(states, members, now, budget.pieces)
 
-    def _contact_budget(self, contact: Contact) -> ContactBudget:
-        """Fixed per-contact budget, or one derived from the duration."""
+    def _contact_budget(self, contact: Contact, scale: float = 1.0) -> ContactBudget:
+        """Fixed per-contact budget, or one derived from the duration.
+
+        ``scale`` (< 1 for truncated contacts) shrinks a fixed budget;
+        duration-derived budgets already see the shortened contact and
+        are not scaled twice.
+        """
         if not self._config.duration_budgets:
-            return self._config.budget
+            return self._config.budget.scaled(scale)
         from repro.net.medium import budget_from_duration
         from repro.net.messages import METADATA_BASE_SIZE
         from repro.catalog.files import PIECE_SIZE
@@ -515,6 +570,10 @@ class MobileBitTorrent:
             receivers = self._pairwise_receiver(cand.requesters, cand.missing, sender)
         if not receivers:
             return False
+        # Loss is drawn per receiver after the send is committed: a
+        # fully lost transmission still consumed the channel slot.
+        if self._faults is not None:
+            receivers = self._faults.deliverable(receivers, "metadata")
         states[sender].stats.metadata_sent += 1
         self.counters.metadata_transmissions += 1
         self._metrics.count_metadata_transmission(len(receivers))
@@ -692,6 +751,11 @@ class MobileBitTorrent:
             receivers = unchoked
             if not receivers:
                 return False
+        corrupted = False
+        if self._faults is not None:
+            # As with loss, corruption strikes after the send committed.
+            corrupted = self._faults.corrupt_transmission()
+            receivers = self._faults.deliverable(receivers, "piece")
         states[sender].stats.pieces_sent += 1
         self.counters.piece_transmissions += 1
         self._metrics.count_piece_transmission(len(receivers))
@@ -701,6 +765,19 @@ class MobileBitTorrent:
         newly_interested: List[NodeId] = []
         for receiver in receivers:
             state = states[receiver]
+            if corrupted:
+                # The whole frame is garbage: the piggybacked metadata
+                # is unusable and checksum verification rejects the
+                # piece, so the receiver keeps needing it (stays in
+                # ``missing`` and ``requesters``).
+                try:
+                    state.accept_piece(
+                        record.uri, cand.index, corrupt_payload(payload), checksum, now
+                    )
+                except IntegrityError:
+                    assert self._faults is not None
+                    self._faults.count("corrupt_receipts")
+                continue
             wanted_before = record.uri in state.wanted_uris(now)
             # Pieces carry their metadata so receivers can verify them;
             # under MBT-QM this piggyback is how metadata spread at all.

@@ -172,6 +172,14 @@ class MetadataStore:
             del self._records[uri]
         return dead
 
+    def clear(self) -> None:
+        """Drop every record (node crash with storage loss).
+
+        Lifetime counters (``evictions``) survive — they describe the
+        node's history, not its current contents.
+        """
+        self._records.clear()
+
 
 class NodeState:
     """The full protocol state of one DTN node."""
@@ -474,6 +482,22 @@ class NodeState:
         self._version += 1
 
     # -- housekeeping -----------------------------------------------------------------
+
+    def wipe(self) -> None:
+        """Forget everything learned from the network (crash with storage loss).
+
+        Metadata and piece stores, stored foreign queries, heard peer
+        requests and the neighbor table are dropped. The node's own
+        standing queries survive (the user re-enters them on reboot),
+        as do the credit ledger, the frequent-contact configuration and
+        the lifetime ``stats`` counters.
+        """
+        self.metadata.clear()
+        self.pieces.clear()
+        self._foreign_queries.clear()
+        self._peer_requests.clear()
+        self.neighbor_last_heard.clear()
+        self._version += 1
 
     def expire(self, now: float) -> None:
         """Drop expired metadata, queries and orphaned pieces."""

@@ -15,6 +15,8 @@ See :mod:`repro.exec.kernel` for the full story. Typical use::
 """
 
 from repro.exec.kernel import (
+    RunError,
+    RunManyError,
     RunResult,
     RunSpec,
     TraceSpec,
@@ -23,10 +25,13 @@ from repro.exec.kernel import (
     execute,
     resolve_callable,
     run_many,
+    spec_fingerprint,
     trace_cache_info,
 )
 
 __all__ = [
+    "RunError",
+    "RunManyError",
     "RunResult",
     "RunSpec",
     "TraceSpec",
@@ -35,5 +40,6 @@ __all__ = [
     "execute",
     "resolve_callable",
     "run_many",
+    "spec_fingerprint",
     "trace_cache_info",
 ]

@@ -14,9 +14,26 @@ processes with bitwise-identical results:
   :class:`~repro.sim.runner.SimulationConfig` and an optional seed
   override, plus an opaque ``tag`` that round-trips to the result;
 * :func:`execute` — the pure mapping ``RunSpec -> RunResult``;
-* :func:`run_many` — ``map(execute, specs)`` over a
+* :func:`run_many` — submission-based fan-out over a
   :class:`~concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``,
   preserving input order.
+
+Resilience
+----------
+``run_many`` is built for multi-hour campaigns where a single worker
+crash must not cost the whole sweep:
+
+* each spec is submitted as its own future with an optional per-spec
+  ``timeout``;
+* a crashed worker (``BrokenProcessPool``) or timed-out spec is retried
+  on a fresh pool, up to ``retries`` times with exponential ``backoff``;
+* ordinary exceptions raised by the simulation itself are treated as
+  deterministic and never retried — ``on_error`` picks between raising
+  immediately (``"fail_fast"``) and recording a :class:`RunError` in
+  the result slot (``"collect"``);
+* with ``checkpoint=path``, every completed run is appended to a JSONL
+  file keyed by :func:`spec_fingerprint`; a re-invocation with the same
+  path re-runs only the specs not yet completed.
 
 Determinism
 -----------
@@ -25,32 +42,39 @@ seeded by the spec's arguments and the simulation by
 ``config.seed`` (or the spec's ``seed`` override), each through its own
 ``random.Random`` instance. No module-level RNG is consulted, so the
 results are independent of execution order and of the process the run
-lands in — ``run_many(specs, jobs=4)`` equals ``jobs=1`` exactly.
+lands in — ``run_many(specs, jobs=4)`` equals ``jobs=1`` exactly, even
+when workers crash and specs are retried.
 
 Trace caching
 -------------
 Building a trace can rival the simulation itself in cost, and a sweep
 reuses one trace across many (x, protocol) cells. ``execute`` therefore
-caches built traces in a small per-process table keyed by the *full*
-trace spec (builder path + every argument). Each worker process builds
-any distinct trace at most once; literal traces bypass the cache (they
-are already built and travel inside the pickled spec).
+caches built traces in a small per-process LRU table keyed by the
+*full* trace spec (builder path + every argument). Each worker process
+builds any distinct trace at most once while it stays hot; literal
+traces bypass the cache (they are already built and travel inside the
+pickled spec).
 """
 
 from __future__ import annotations
 
 import hashlib
 import importlib
+import json
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import BrokenExecutor, CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import Simulation, SimulationConfig
 from repro.traces.base import ContactTrace
 
 __all__ = [
+    "RunError",
+    "RunManyError",
     "RunResult",
     "RunSpec",
     "TraceSpec",
@@ -59,6 +83,7 @@ __all__ = [
     "execute",
     "resolve_callable",
     "run_many",
+    "spec_fingerprint",
     "trace_cache_info",
 ]
 
@@ -203,6 +228,37 @@ class RunResult:
     wall_time: float
 
 
+@dataclass(frozen=True)
+class RunError:
+    """Terminal failure of one spec (``on_error="collect"`` slot value).
+
+    ``error`` is a human-readable description of the last failure and
+    ``attempts`` the number of execution attempts made (1 for
+    non-retryable simulation errors, up to ``retries + 1`` for worker
+    crashes and timeouts).
+    """
+
+    spec: RunSpec
+    error: str
+    attempts: int
+
+    def labels(self) -> Dict[str, Any]:
+        """The spec's tag as a plain dict (mirrors ``RunSpec.labels``)."""
+        return dict(self.spec.tag)
+
+
+class RunManyError(RuntimeError):
+    """A spec failed terminally under ``on_error="fail_fast"``."""
+
+    def __init__(self, errors: Sequence[RunError]) -> None:
+        self.errors = list(errors)
+        first = self.errors[0]
+        super().__init__(
+            f"{len(self.errors)} spec(s) failed; first: {first.error} "
+            f"after {first.attempts} attempt(s) (tag={first.labels()})"
+        )
+
+
 def derive_seed(*components: Any) -> int:
     """Deterministic 63-bit seed derived from arbitrary components.
 
@@ -215,12 +271,79 @@ def derive_seed(*components: Any) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+def _trace_identity(spec: TraceSpec) -> Tuple[Any, ...]:
+    """Value identity of a trace spec (never its memory address)."""
+    if spec.builder is not None:
+        return ("builder", spec.builder, repr(spec.args), repr(spec.kwargs))
+    trace = spec.trace
+    assert trace is not None
+    digest = hashlib.sha256()
+    for contact in trace:
+        digest.update(
+            repr((contact.start, contact.end, tuple(sorted(contact.members)))).encode()
+        )
+    return ("literal", trace.name, len(trace), digest.hexdigest())
+
+
+def spec_fingerprint(spec: RunSpec) -> str:
+    """Stable hex identity of a run spec, the checkpoint-file key.
+
+    Covers the trace (builder path + arguments, or the literal trace's
+    full contact content), the resolved config (including the fault
+    plan and seed) and the tag — everything that determines the run's
+    output. Stable across processes and Python invocations.
+    """
+    identity = (
+        _trace_identity(spec.trace),
+        repr(spec.resolved_config()),
+        repr(spec.tag),
+    )
+    return hashlib.sha256(repr(identity).encode()).hexdigest()
+
+
+class _LRUCache:
+    """Tiny LRU map with hit/miss counters (per-process trace cache)."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"cache limit must be >= 1, got {limit}")
+        self._limit = limit
+        self._data: "OrderedDict[Tuple[Any, ...], ContactTrace]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Tuple[Any, ...]) -> bool:
+        return key in self._data  # membership probe; no recency touch
+
+    def get(self, key: Tuple[Any, ...]) -> Optional[ContactTrace]:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)  # a hit refreshes recency
+        self.hits += 1
+        return value
+
+    def put(self, key: Tuple[Any, ...], value: ContactTrace) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self._limit:
+            self._data.popitem(last=False)  # evict least recently used
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
 #: Per-process trace cache: full spec key -> built trace. Bounded so a
 #: long-lived worker sweeping many trace parameters cannot grow without
-#: limit; eviction is FIFO (sweeps revisit recent specs, not old ones).
-_TRACE_CACHE: Dict[Tuple[Any, ...], ContactTrace] = {}
+#: limit; eviction is least-recently-used (a sweep's hot trace stays
+#: cached however many cold ones pass through).
 _TRACE_CACHE_LIMIT = 16
-_TRACE_CACHE_STATS = {"hits": 0, "misses": 0}
+_TRACE_CACHE = _LRUCache(_TRACE_CACHE_LIMIT)
 
 
 def _trace_for(spec: TraceSpec) -> ContactTrace:
@@ -229,19 +352,19 @@ def _trace_for(spec: TraceSpec) -> ContactTrace:
         return spec.build()
     cached = _TRACE_CACHE.get(key)
     if cached is not None:
-        _TRACE_CACHE_STATS["hits"] += 1
         return cached
-    _TRACE_CACHE_STATS["misses"] += 1
     trace = spec.build()
-    if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
-        _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
-    _TRACE_CACHE[key] = trace
+    _TRACE_CACHE.put(key, trace)
     return trace
 
 
 def trace_cache_info() -> Dict[str, int]:
     """Hit/miss counters of this process's trace cache (diagnostics)."""
-    return {"size": len(_TRACE_CACHE), **_TRACE_CACHE_STATS}
+    return {
+        "size": len(_TRACE_CACHE),
+        "hits": _TRACE_CACHE.hits,
+        "misses": _TRACE_CACHE.misses,
+    }
 
 
 def execute(spec: RunSpec) -> RunResult:
@@ -252,31 +375,208 @@ def execute(spec: RunSpec) -> RunResult:
     return RunResult(spec=spec, result=result, wall_time=time.perf_counter() - start)
 
 
+def _load_checkpoint(path: str) -> Dict[str, List[Dict[str, Any]]]:
+    """Completed payloads from a checkpoint file, keyed by fingerprint.
+
+    Duplicate fingerprints (identical specs run twice) are kept as a
+    queue in file order. Torn or malformed lines — the tail of a run
+    killed mid-write — are skipped rather than fatal.
+    """
+    completed: Dict[str, List[Dict[str, Any]]] = {}
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError:
+        return completed
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                fingerprint = payload["fingerprint"]
+                payload["result"]
+            except (ValueError, KeyError, TypeError):
+                continue
+            completed.setdefault(fingerprint, []).append(payload)
+    return completed
+
+
 def run_many(
     specs: Sequence[RunSpec],
     jobs: Optional[int] = None,
-    chunksize: Optional[int] = None,
-) -> List[RunResult]:
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.1,
+    on_error: str = "fail_fast",
+    checkpoint: Optional[str] = None,
+) -> List[Union[RunResult, RunError]]:
     """Execute every spec, preserving input order.
 
     ``jobs`` <= 1 (the default) runs serially in-process; larger values
-    fan out over a :class:`ProcessPoolExecutor` with ``jobs`` workers.
-    Results are identical either way — specs are self-contained and
-    :func:`execute` consults no shared mutable state. ``chunksize``
-    tunes how many specs each worker pulls at once (default: enough to
-    give every worker a handful of contiguous specs, which also keeps
-    the per-worker trace cache warm since neighbouring specs in a sweep
-    share a trace).
+    submit each spec as its own future to a
+    :class:`ProcessPoolExecutor` with up to ``jobs`` workers. Results
+    are identical either way — specs are self-contained and
+    :func:`execute` consults no shared mutable state.
+
+    Fault handling (parallel mode):
+
+    * ``timeout`` — seconds granted per spec once its result is
+      awaited; a spec exceeding it counts as a retryable failure and
+      its (possibly stuck) worker pool is abandoned without waiting.
+    * ``retries`` — how many times a retryable failure (worker crash,
+      broken pool, timeout) is re-executed on a fresh pool; waits
+      ``backoff`` seconds before the first retry round, doubling each
+      round. Exceptions raised *by the simulation itself* are
+      deterministic and never retried.
+    * ``on_error`` — ``"fail_fast"`` (default) re-raises the first
+      terminal failure; ``"collect"`` puts a :class:`RunError` in the
+      failed spec's result slot and keeps going.
+    * ``checkpoint`` — path of a JSONL file; every completed run is
+      appended (fingerprint + result) and, on re-invocation, specs
+      whose fingerprint is already present are restored from the file
+      instead of re-run. Errors are never checkpointed, so failed
+      specs are retried by a resumed sweep.
+
+    Serial mode honors ``on_error`` and ``checkpoint`` (there is no
+    worker to crash or time out, so ``timeout``/``retries`` do not
+    apply).
     """
     specs = list(specs)
     if jobs is None:
         jobs = 1
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    if jobs == 1 or len(specs) <= 1:
-        return [execute(spec) for spec in specs]
-    workers = min(jobs, len(specs))
-    if chunksize is None:
-        chunksize = max(1, len(specs) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(execute, specs, chunksize=chunksize))
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise ValueError(f"backoff must be >= 0, got {backoff}")
+    if on_error not in ("fail_fast", "collect"):
+        raise ValueError(f'on_error must be "fail_fast" or "collect", got {on_error!r}')
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+
+    slots: List[Optional[Union[RunResult, RunError]]] = [None] * len(specs)
+    pending: List[int] = list(range(len(specs)))
+    fingerprints: List[str] = []
+    writer = None
+    if checkpoint is not None:
+        fingerprints = [spec_fingerprint(spec) for spec in specs]
+        done = _load_checkpoint(checkpoint)
+        pending = []
+        for index, fingerprint in enumerate(fingerprints):
+            queue = done.get(fingerprint)
+            if queue:
+                payload = queue.pop(0)
+                slots[index] = RunResult(
+                    spec=specs[index],
+                    result=SimulationResult.from_dict(payload["result"]),
+                    wall_time=float(payload.get("wall_time", 0.0)),
+                )
+            else:
+                pending.append(index)
+        writer = open(checkpoint, "a", encoding="utf-8")
+
+    def record(index: int, run: RunResult) -> None:
+        slots[index] = run
+        if writer is not None:
+            writer.write(
+                json.dumps(
+                    {
+                        "fingerprint": fingerprints[index],
+                        "wall_time": run.wall_time,
+                        "result": run.result.to_dict(),
+                    }
+                )
+                + "\n"
+            )
+            writer.flush()
+
+    try:
+        if jobs == 1 or not pending:
+            for index in pending:
+                try:
+                    run = execute(specs[index])
+                except Exception as exc:
+                    if on_error == "fail_fast":
+                        raise
+                    slots[index] = RunError(
+                        spec=specs[index],
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=1,
+                    )
+                else:
+                    record(index, run)
+        else:
+            _run_parallel(
+                specs, pending, slots, record, jobs, timeout, retries, backoff, on_error
+            )
+    finally:
+        if writer is not None:
+            writer.close()
+    assert all(slot is not None for slot in slots)
+    return slots  # type: ignore[return-value]
+
+
+def _run_parallel(
+    specs: List[RunSpec],
+    pending: List[int],
+    slots: List[Optional[Union[RunResult, RunError]]],
+    record: Callable[[int, RunResult], None],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    on_error: str,
+) -> None:
+    """Rounds of per-spec futures; retryable failures get a fresh pool."""
+    failures: Dict[int, int] = {index: 0 for index in pending}
+    delay = backoff
+    while pending:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        futures = {index: pool.submit(execute, specs[index]) for index in pending}
+        failed: List[Tuple[int, str]] = []
+        stuck = False
+        fatal: Optional[BaseException] = None
+        try:
+            for index in pending:
+                try:
+                    run = futures[index].result(timeout=timeout)
+                except (FuturesTimeoutError, TimeoutError):
+                    stuck = True
+                    failed.append((index, f"timed out after {timeout:g}s"))
+                except (BrokenExecutor, CancelledError) as exc:
+                    failed.append((index, f"worker crashed ({type(exc).__name__})"))
+                except Exception as exc:
+                    # The simulation itself raised: deterministic, so a
+                    # retry would fail identically.
+                    if on_error == "fail_fast":
+                        fatal = exc
+                        break
+                    slots[index] = RunError(
+                        spec=specs[index],
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=failures[index] + 1,
+                    )
+                else:
+                    record(index, run)
+        finally:
+            # A timed-out worker cannot be interrupted; abandon the pool
+            # without waiting so the retry round starts immediately.
+            pool.shutdown(wait=not stuck, cancel_futures=True)
+        if fatal is not None:
+            raise fatal
+        pending = []
+        for index, reason in failed:
+            failures[index] += 1
+            if failures[index] <= retries:
+                pending.append(index)
+            else:
+                error = RunError(spec=specs[index], error=reason, attempts=failures[index])
+                if on_error == "fail_fast":
+                    raise RunManyError([error])
+                slots[index] = error
+        if pending and delay > 0:
+            time.sleep(delay)
+            delay = min(delay * 2, 2.0)

@@ -35,6 +35,7 @@ from repro.experiments.workloads import (
     nus_base_config,
     nus_trace,
 )
+from repro.faults import FaultPlan
 from repro.sim.runner import SimulationConfig
 
 #: Paper x-axis ranges (§VI-A).
@@ -43,6 +44,8 @@ FILES_PER_DAY = (10, 25, 40, 70, 100)
 TTL_DAYS = (1, 2, 3, 4, 5)
 PER_CONTACT_BUDGETS = (1, 2, 4, 7, 10)
 ATTENDANCE_RATES = (0.2, 0.4, 0.6, 0.8, 1.0)
+#: Robustness sweep (beyond the paper): per-receiver transmission loss.
+LOSS_RATES = (0.0, 0.1, 0.2, 0.3, 0.5)
 
 
 def _sweep_access(config: SimulationConfig, x: float, seed: int) -> SimulationConfig:
@@ -67,6 +70,12 @@ def _sweep_file_budget(config: SimulationConfig, x: float, seed: int) -> Simulat
 
 def _sweep_seed_only(config: SimulationConfig, x: float, seed: int) -> SimulationConfig:
     return replace(config, seed=seed)
+
+
+def _sweep_loss(config: SimulationConfig, x: float, seed: int) -> SimulationConfig:
+    return replace(
+        config, faults=replace(config.faults, loss_rate=float(x)), seed=seed
+    )
 
 
 def _dieselnet_spec(scale: Scale) -> Callable[[float, int], TraceSpec]:
@@ -267,6 +276,31 @@ def fig3f(
     )
 
 
+# ----------------------------------------------------------- Robustness
+
+
+def figloss(
+    scale: Scale = "fast", seeds: Sequence[int] = (0,), jobs: int = 1
+) -> SweepResult:
+    """Robustness panel (beyond the paper): delivery vs loss rate.
+
+    Sweeps the per-receiver transmission-loss probability of
+    :class:`~repro.faults.FaultPlan` on the DieselNet trace — how
+    gracefully each protocol variant degrades when the radio channel is
+    unreliable. The x = 0 column is exactly the clean run.
+    """
+    return run_sweep(
+        name="Robustness DieselNet — transmission loss rate",
+        x_label="loss rate",
+        x_values=LOSS_RATES,
+        trace_factory=_dieselnet_spec(scale),
+        config_factory=_sweep_loss,
+        base_config=dieselnet_base_config(),
+        seeds=seeds,
+        jobs=jobs,
+    )
+
+
 #: Registry used by the benchmark suite and the figure-runner example.
 FIGURES: Dict[str, Callable[..., SweepResult]] = {
     "fig2a": fig2a,
@@ -280,4 +314,5 @@ FIGURES: Dict[str, Callable[..., SweepResult]] = {
     "fig3d": fig3d,
     "fig3e": fig3e,
     "fig3f": fig3f,
+    "figloss": figloss,
 }

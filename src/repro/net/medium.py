@@ -41,6 +41,21 @@ class ContactBudget:
         if self.metadata < 0 or self.pieces < 0:
             raise ValueError("budgets must be non-negative")
 
+    def scaled(self, factor: float) -> "ContactBudget":
+        """Budget of a partially lost contact: floor both counts.
+
+        Used by fault injection when a contact is truncated to
+        ``factor`` of its duration. ``factor >= 1`` returns ``self``
+        unchanged (a truncation never grants extra budget).
+        """
+        if factor < 0.0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        if factor >= 1.0:
+            return self
+        return ContactBudget(
+            metadata=int(self.metadata * factor), pieces=int(self.pieces * factor)
+        )
+
 
 class TransmissionMedium(ABC):
     """How one transmission maps to receivers and budget cost."""

@@ -193,17 +193,33 @@ class Simulator:
         )
         return True
 
-    def run(self, until: Optional[float] = None) -> None:
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains or the clock would pass ``until``.
 
         Events scheduled exactly at ``until`` are executed; the clock
         never advances beyond the last executed event.
+
+        ``max_events`` is a safety valve for long campaigns: when more
+        than that many events would execute *within this call*, a
+        :class:`SimulationError` is raised instead of looping forever
+        (e.g. a buggy action reposting itself at the current instant).
         """
+        if max_events is not None and max_events < 1:
+            raise SimulationError(f"max_events must be >= 1, got {max_events!r}")
+        executed_before = self._events_executed
         while self._queue:
             next_time = self._queue.peek_time()
             assert next_time is not None
             if until is not None and next_time > until:
                 break
+            if (
+                max_events is not None
+                and self._events_executed - executed_before >= max_events
+            ):
+                raise SimulationError(
+                    f"event budget exhausted: {max_events} events executed "
+                    f"by t={self._now:.3f} with {len(self._queue)} still pending"
+                )
             self.step()
         if until is not None and until > self._now:
             self._now = until

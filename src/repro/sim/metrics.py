@@ -60,6 +60,18 @@ COUNTER_KEYS: Tuple[str, ...] = (
     "piece_evictions",
     "checksum_rejections",
     "metadata_rejected_auth",
+    # Fault-injection counters (present only when a run has a non-clean
+    # FaultPlan; clean runs omit them entirely).
+    "events_fault",
+    "faults.contacts_dropped",
+    "faults.contacts_truncated",
+    "faults.contacts_skipped_down",
+    "faults.metadata_losses",
+    "faults.piece_losses",
+    "faults.pieces_corrupted",
+    "faults.corrupt_receipts",
+    "faults.crashes",
+    "faults.rebirths",
 )
 
 
@@ -125,6 +137,20 @@ class SimulationResult:
             "access_file_delivery_ratio": self.access_file_delivery_ratio,
             "extra": dict(self.extra),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict` (checkpoint-file reconstruction)."""
+        return cls(
+            metadata_delivery_ratio=float(data["metadata_delivery_ratio"]),  # type: ignore[arg-type]
+            file_delivery_ratio=float(data["file_delivery_ratio"]),  # type: ignore[arg-type]
+            queries_generated=int(data["queries_generated"]),  # type: ignore[arg-type]
+            metadata_delivered=int(data["metadata_delivered"]),  # type: ignore[arg-type]
+            files_delivered=int(data["files_delivered"]),  # type: ignore[arg-type]
+            access_metadata_delivery_ratio=float(data["access_metadata_delivery_ratio"]),  # type: ignore[arg-type]
+            access_file_delivery_ratio=float(data["access_file_delivery_ratio"]),  # type: ignore[arg-type]
+            extra=dict(data.get("extra", {})),  # type: ignore[arg-type]
+        )
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:

@@ -25,6 +25,7 @@ from repro.catalog.popularity import PopularityTracker
 from repro.catalog.server import FileServer, MetadataServer
 from repro.core.mbt import MobileBitTorrent, ProtocolConfig, ProtocolVariant, SchedulingMode
 from repro.core.node import NodeState
+from repro.faults import FaultInjector, FaultPlan
 from repro.net.medium import ContactBudget
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsCollector, SimulationResult
@@ -37,6 +38,9 @@ _PRIORITY_EXPIRE = 0
 _PRIORITY_GENERATE = 1
 _PRIORITY_SYNC = 2
 _PRIORITY_CONTACT = 3
+#: Churn crash/rebirth events; after contacts at the same instant so a
+#: crash at a contact's exact start time does not retroactively mute it.
+_PRIORITY_FAULT = 4
 
 
 @dataclass(frozen=True)
@@ -113,6 +117,12 @@ class SimulationConfig:
     #: server-side definition) instead of using the generation-time
     #: ground truth (the paper's simplified evaluation model).
     track_popularity: bool = False
+    #: Deterministic fault injection (loss, corruption, flapping,
+    #: churn); the default all-zero plan changes nothing.
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    #: Safety valve: abort (SimulationError) if a run executes more
+    #: than this many events. None = unbounded.
+    max_events: Optional[int] = None
     #: Master seed: node roles, catalog and queries all derive from it.
     seed: int = 0
 
@@ -218,12 +228,18 @@ class Simulation:
             if config.fake_files_per_day > 0 and self._malicious_nodes
             else None
         )
+        # A clean plan builds no injector at all, keeping the fault-free
+        # path (and its results) bitwise identical to pre-fault builds.
+        self._injector = (
+            None if config.faults.is_clean() else FaultInjector(config.faults, config.seed)
+        )
         self._engine = MobileBitTorrent(
             self._states,
             self._metadata_server,
             self._file_server,
             self._metrics,
             config.protocol_config(),
+            faults=self._injector,
         )
 
     def _pick_nodes(self, nodes: Sequence[NodeId], fraction: float) -> FrozenSet[NodeId]:
@@ -289,7 +305,19 @@ class Simulation:
                 _PRIORITY_CONTACT,
             )
 
-        sim.run(until=horizon)
+        if self._injector is not None:
+            for node, crash_at, rebirth_at in self._injector.churn_schedule(
+                list(self.trace.nodes), days
+            ):
+                if crash_at >= horizon:
+                    continue
+                sim.schedule(crash_at, self._make_crash_action(node), _PRIORITY_FAULT)
+                if rebirth_at < horizon:
+                    sim.schedule(
+                        rebirth_at, self._make_rebirth_action(node), _PRIORITY_FAULT
+                    )
+
+        sim.run(until=horizon, max_events=self.config.max_events)
         extra = {
             "num_days": float(days),
             "num_contacts": float(len(self.trace)),
@@ -306,6 +334,7 @@ class Simulation:
         _PRIORITY_EXPIRE: "events_noon",
         _PRIORITY_SYNC: "events_sync",
         _PRIORITY_CONTACT: "events_contact",
+        _PRIORITY_FAULT: "events_fault",
     }
 
     def _instrumentation(self, sim: Simulator) -> Dict[str, float]:
@@ -329,6 +358,9 @@ class Simulation:
         counters["checksum_rejections"] = float(
             sum(s.checksum_rejections for s in stats)
         )
+        if self._injector is not None:
+            for name, value in self._injector.counters.items():
+                counters[f"faults.{name}"] = float(value)
         return counters
 
     def node_report(self) -> List[Dict[str, object]]:
@@ -389,6 +421,18 @@ class Simulation:
     def _make_contact_action(self, contact, at: float):
         def action() -> None:
             self._engine.handle_contact(contact, at)
+
+        return action
+
+    def _make_crash_action(self, node: NodeId):
+        def action() -> None:
+            self._engine.crash_node(node, wipe=self.config.faults.wipe_on_crash)
+
+        return action
+
+    def _make_rebirth_action(self, node: NodeId):
+        def action() -> None:
+            self._engine.revive_node(node)
 
         return action
 

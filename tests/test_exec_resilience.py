@@ -1,0 +1,384 @@
+"""Resilience tests for the execution kernel: retries, timeouts,
+checkpoint/resume and the per-process LRU trace cache.
+
+The crashy/sleepy builders below are module-level on purpose — worker
+processes re-import them by dotted path, so they must be picklable by
+qualified name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+from typing import List
+
+import pytest
+
+from repro.exec import (
+    RunError,
+    RunManyError,
+    RunResult,
+    RunSpec,
+    TraceSpec,
+    execute,
+    run_many,
+    spec_fingerprint,
+    trace_cache_info,
+)
+from repro.exec import kernel
+from repro.exec.kernel import _LRUCache
+from repro.faults import FaultPlan
+from repro.sim.runner import SimulationConfig
+from repro.traces.base import Contact, ContactTrace
+from repro.traces.dieselnet import DieselNetConfig, generate_dieselnet_trace
+from repro.types import DAY, NodeId
+
+
+def micro_builder(seed: int = 0) -> ContactTrace:
+    """Three nodes, two pair contacts a day for three days."""
+    contacts = []
+    for day in range(3):
+        base = day * DAY
+        contacts.append(
+            Contact(base + 50_000.0, base + 50_060.0, frozenset({NodeId(0), NodeId(1)}))
+        )
+        contacts.append(
+            Contact(base + 60_000.0, base + 60_060.0, frozenset({NodeId(1), NodeId(2)}))
+        )
+    return ContactTrace(contacts, name=f"micro{seed}")
+
+
+def crash_once_builder(flag_path: str, seed: int = 0) -> ContactTrace:
+    """Kill the hosting process on first use, then behave like micro."""
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w", encoding="utf-8"):
+            pass
+        os._exit(1)
+    return micro_builder(seed)
+
+
+def crash_always_builder(seed: int = 0) -> ContactTrace:
+    """Kill the hosting process unconditionally."""
+    os._exit(1)
+
+
+def fail_once_builder(flag_path: str, seed: int = 0) -> ContactTrace:
+    """Raise on first use (leaving a flag behind), then behave like micro."""
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w", encoding="utf-8"):
+            pass
+        raise RuntimeError("interrupted mid-sweep")
+    return micro_builder(seed)
+
+
+def sleepy_builder(seconds: float, seed: int = 0) -> ContactTrace:
+    time.sleep(seconds)
+    return micro_builder(seed)
+
+
+def failing_builder(seed: int = 0) -> ContactTrace:
+    raise RuntimeError("deterministic builder failure")
+
+
+def _tiny_config(seed: int = 0) -> SimulationConfig:
+    return SimulationConfig(files_per_day=5, num_days=3, seed=seed)
+
+
+def micro_spec(seed: int = 0) -> RunSpec:
+    return RunSpec(
+        trace=TraceSpec.of(micro_builder, seed), config=_tiny_config(seed)
+    )
+
+
+def _dicts(runs: List[RunResult]) -> List[dict]:
+    return [run.result.to_dict() for run in runs]
+
+
+# ------------------------------------------------------------------ LRU cache
+
+
+class TestLRUCache:
+    def test_evicts_least_recently_used(self):
+        cache = _LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_hit_refreshes_recency(self):
+        cache = _LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # "a" becomes most recent
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_membership_probe_does_not_refresh(self):
+        cache = _LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache  # probe only
+        cache.put("c", 3)
+        assert "a" not in cache  # still the LRU entry
+
+    def test_hit_miss_counters(self):
+        cache = _LRUCache(4)
+        assert cache.get("missing") is None
+        cache.put("a", 1)
+        cache.get("a")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            _LRUCache(0)
+
+    def test_trace_cache_stays_bounded(self):
+        kernel._TRACE_CACHE.clear()
+        for seed in range(kernel._TRACE_CACHE_LIMIT + 5):
+            kernel._trace_for(TraceSpec.of(micro_builder, seed))
+        assert trace_cache_info()["size"] == kernel._TRACE_CACHE_LIMIT
+
+
+# ------------------------------------------------------------- fingerprinting
+
+
+class TestSpecFingerprint:
+    def test_stable_for_equal_specs(self):
+        assert spec_fingerprint(micro_spec(3)) == spec_fingerprint(micro_spec(3))
+
+    def test_sensitive_to_seed_config_and_tag(self):
+        base = micro_spec(0)
+        assert spec_fingerprint(base) != spec_fingerprint(micro_spec(1))
+        assert spec_fingerprint(base) != spec_fingerprint(
+            replace(base, config=replace(base.config, files_per_day=9))
+        )
+        assert spec_fingerprint(base) != spec_fingerprint(
+            replace(base, tag=RunSpec.make_tag(x=1))
+        )
+
+    def test_sensitive_to_fault_plan(self):
+        base = micro_spec(0)
+        faulty = replace(
+            base, config=replace(base.config, faults=FaultPlan(loss_rate=0.2))
+        )
+        assert spec_fingerprint(base) != spec_fingerprint(faulty)
+
+    def test_literal_traces_fingerprint_by_content(self):
+        a = RunSpec(trace=TraceSpec.literal(micro_builder(0)), config=_tiny_config())
+        b = RunSpec(trace=TraceSpec.literal(micro_builder(0)), config=_tiny_config())
+        assert spec_fingerprint(a) == spec_fingerprint(b)  # distinct objects
+        shifted = ContactTrace(
+            [Contact(c.start + 1.0, c.end + 1.0, c.members) for c in micro_builder(0)],
+            name="micro0",
+        )
+        c = RunSpec(trace=TraceSpec.literal(shifted), config=_tiny_config())
+        assert spec_fingerprint(a) != spec_fingerprint(c)
+
+
+# ------------------------------------------------------- deterministic errors
+
+
+class TestDeterministicErrors:
+    def _specs(self):
+        return [
+            micro_spec(0),
+            RunSpec(trace=TraceSpec.of(failing_builder, 0), config=_tiny_config()),
+            micro_spec(1),
+        ]
+
+    def test_serial_fail_fast_raises(self):
+        with pytest.raises(RuntimeError, match="deterministic builder failure"):
+            run_many(self._specs(), jobs=1)
+
+    def test_serial_collect_fills_error_slot(self):
+        results = run_many(self._specs(), jobs=1, on_error="collect")
+        assert isinstance(results[0], RunResult)
+        assert isinstance(results[1], RunError)
+        assert isinstance(results[2], RunResult)
+        assert results[1].attempts == 1
+        assert "deterministic builder failure" in results[1].error
+
+    def test_parallel_collect_never_retries_simulation_errors(self):
+        results = run_many(self._specs(), jobs=2, on_error="collect", backoff=0.0)
+        assert isinstance(results[1], RunError)
+        assert results[1].attempts == 1
+
+    def test_parallel_fail_fast_raises_original(self):
+        with pytest.raises(RuntimeError, match="deterministic builder failure"):
+            run_many(self._specs(), jobs=2, backoff=0.0)
+
+    def test_run_error_labels(self):
+        spec = replace(
+            RunSpec(trace=TraceSpec.of(failing_builder, 0), config=_tiny_config()),
+            tag=RunSpec.make_tag(protocol="mbt", x=0.3),
+        )
+        [error] = run_many([spec], jobs=1, on_error="collect")
+        assert error.labels() == {"protocol": "mbt", "x": 0.3}
+
+
+# ------------------------------------------------------------- worker crashes
+
+
+class TestWorkerCrashes:
+    def test_crashed_worker_is_retried_and_sweep_completes(self, tmp_path):
+        flag = str(tmp_path / "crashed-once")
+        specs = [
+            micro_spec(0),
+            RunSpec(
+                trace=TraceSpec.of(crash_once_builder, flag, 7),
+                config=_tiny_config(7),
+            ),
+            micro_spec(1),
+        ]
+        results = run_many(specs, jobs=2, retries=2, backoff=0.01)
+        assert os.path.exists(flag)  # the crash really happened
+        assert all(isinstance(run, RunResult) for run in results)
+        # The retried spec produced the same result a clean run would:
+        # crash_once_builder returns micro_builder(7) once the flag exists.
+        baseline = execute(specs[1])
+        assert results[1].result.to_dict() == baseline.result.to_dict()
+
+    def test_retries_exhausted_collect(self):
+        specs = [
+            RunSpec(trace=TraceSpec.of(crash_always_builder, 0), config=_tiny_config())
+        ]
+        [error] = run_many(
+            specs, jobs=2, retries=1, backoff=0.01, on_error="collect"
+        )
+        assert isinstance(error, RunError)
+        assert error.attempts == 2  # initial try + one retry
+        assert "worker crashed" in error.error
+
+    def test_retries_exhausted_fail_fast(self):
+        specs = [
+            RunSpec(trace=TraceSpec.of(crash_always_builder, 0), config=_tiny_config())
+        ]
+        with pytest.raises(RunManyError) as excinfo:
+            run_many(specs, jobs=2, retries=0, backoff=0.0)
+        assert excinfo.value.errors[0].attempts == 1
+
+    def test_timeout_is_a_terminal_failure(self):
+        specs = [
+            RunSpec(
+                trace=TraceSpec.of(sleepy_builder, 10.0), config=_tiny_config()
+            )
+        ]
+        start = time.monotonic()
+        [error] = run_many(
+            specs, jobs=2, timeout=0.5, retries=0, backoff=0.0, on_error="collect"
+        )
+        assert isinstance(error, RunError)
+        assert "timed out" in error.error
+        # The stuck pool is abandoned, not awaited for the full sleep.
+        assert time.monotonic() - start < 8.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            run_many([], retries=-1)
+        with pytest.raises(ValueError):
+            run_many([], backoff=-0.5)
+        with pytest.raises(ValueError):
+            run_many([], on_error="explode")
+        with pytest.raises(ValueError):
+            run_many([], timeout=0.0)
+
+
+# ------------------------------------------------------------------ checkpoint
+
+
+class TestCheckpoint:
+    def test_resume_restores_without_rerunning(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "sweep.jsonl")
+        specs = [micro_spec(seed) for seed in range(3)]
+        first = run_many(specs, jobs=1, checkpoint=path)
+
+        def boom(spec):
+            raise AssertionError("completed spec must not re-run")
+
+        monkeypatch.setattr(kernel, "execute", boom)
+        second = run_many(specs, jobs=1, checkpoint=path)
+        assert _dicts(second) == _dicts(first)
+
+    def test_interrupted_sweep_reruns_only_unfinished_specs(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "sweep.jsonl")
+        flag = str(tmp_path / "failed-once")
+        specs = [
+            micro_spec(0),
+            RunSpec(
+                trace=TraceSpec.of(fail_once_builder, flag, 5),
+                config=_tiny_config(5),
+            ),
+            micro_spec(1),
+        ]
+        # First pass: the middle spec fails deterministically and, under
+        # collect, lands as a RunError — which is never checkpointed.
+        first = run_many(
+            specs, jobs=2, retries=0, backoff=0.0, on_error="collect", checkpoint=path
+        )
+        assert isinstance(first[1], RunError)
+        assert isinstance(first[0], RunResult) and isinstance(first[2], RunResult)
+
+        executed: List[RunSpec] = []
+        real_execute = kernel.execute
+
+        def counting(spec):
+            executed.append(spec)
+            return real_execute(spec)
+
+        monkeypatch.setattr(kernel, "execute", counting)
+        resumed = run_many(specs, jobs=1, checkpoint=path)
+        assert [spec for spec in executed] == [specs[1]]  # only the gap re-ran
+        assert all(isinstance(run, RunResult) for run in resumed)
+        assert resumed[0].result.to_dict() == first[0].result.to_dict()
+        assert resumed[2].result.to_dict() == first[2].result.to_dict()
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        specs = [micro_spec(0), micro_spec(1)]
+        first = run_many(specs, jobs=1, checkpoint=path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "abc", "result": {"trunc')  # killed mid-write
+        resumed = run_many(specs, jobs=1, checkpoint=path)
+        assert _dicts(resumed) == _dicts(first)
+
+    def test_checkpoint_lines_are_keyed_by_fingerprint(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        specs = [micro_spec(0), micro_spec(1)]
+        run_many(specs, jobs=1, checkpoint=path)
+        with open(path, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert [line["fingerprint"] for line in lines] == [
+            spec_fingerprint(spec) for spec in specs
+        ]
+        assert all("result" in line for line in lines)
+
+
+# --------------------------------------------- determinism under fault plans
+
+
+class TestFaultedParallelEquality:
+    def test_jobs_do_not_change_fault_injected_results(self):
+        plan = FaultPlan(
+            loss_rate=0.3,
+            corruption_rate=0.2,
+            contact_truncation_rate=0.3,
+            churn_rate=0.2,
+        )
+        specs = [
+            RunSpec(
+                trace=TraceSpec.of(
+                    generate_dieselnet_trace,
+                    DieselNetConfig(num_buses=6, num_days=2),
+                    seed,
+                ),
+                config=replace(_tiny_config(seed), faults=plan),
+            )
+            for seed in range(4)
+        ]
+        serial = run_many(specs, jobs=1)
+        parallel = run_many(specs, jobs=2)
+        assert _dicts(parallel) == _dicts(serial)
+        for run in serial:
+            assert run.result.extra.get("faults.metadata_losses", 0) > 0

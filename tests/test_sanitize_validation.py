@@ -151,3 +151,64 @@ class TestValidationReport:
         claim = _claim_capacity()
         assert claim.passed
         assert claim.claim_id == "capacity"
+
+
+# ------------------------------------------------- sanitize() properties
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.types import DAY
+
+
+@st.composite
+def raw_pair_traces(draw) -> ContactTrace:
+    """Messy pair-wise traces: arbitrary overlap, flaps, blips, offsets."""
+    num = draw(st.integers(min_value=1, max_value=15))
+    contacts = []
+    for _ in range(num):
+        u = draw(st.integers(min_value=0, max_value=4))
+        v = draw(st.integers(min_value=5, max_value=9))
+        start = draw(
+            st.floats(min_value=0.0, max_value=3 * DAY, allow_nan=False)
+        )
+        duration = draw(
+            st.floats(min_value=0.01, max_value=3_600.0, allow_nan=False)
+        )
+        contacts.append(pair_contact(start, start + duration, u, v))
+    return ContactTrace(contacts, name="raw")
+
+
+def _contact_key(contact: Contact):
+    # Contact.__eq__ ignores members (compare=False); compare explicitly.
+    return (contact.start, contact.end, tuple(sorted(contact.members)))
+
+
+class TestSanitizeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=raw_pair_traces())
+    def test_sanitize_is_idempotent(self, trace):
+        once = sanitize(trace)
+        twice = sanitize(once)
+        assert [_contact_key(c) for c in twice] == [_contact_key(c) for c in once]
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=raw_pair_traces())
+    def test_no_overlapping_same_pair_contacts(self, trace):
+        clean = sanitize(trace)
+        by_pair = {}
+        for contact in clean:
+            by_pair.setdefault(contact.members, []).append(contact)
+        for contacts in by_pair.values():
+            contacts.sort(key=lambda c: c.start)
+            for earlier, later in zip(contacts, contacts[1:]):
+                assert later.start > earlier.end
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=raw_pair_traces())
+    def test_sanitize_normalizes_invariants(self, trace):
+        clean = sanitize(trace)
+        if len(clean):
+            assert clean.start_time == 0.0  # shifted to zero
+            assert clean.nodes == tuple(range(clean.num_nodes))  # dense ids
+            assert all(c.duration >= 1.0 for c in clean)  # blips dropped
