@@ -1,0 +1,220 @@
+"""Record the repository's performance baseline into ``BENCH_core.json``.
+
+Runs the two core benchmark workloads — ``bench_runtime`` (simulator +
+wire-level runtime on the DieselNet and NUS fast traces) and
+``bench_parallel_sweep`` (one DieselNet sweep grid through
+:func:`repro.exec.run_many`) — and writes a JSON record of wall-clock
+times, simulator events/s and any ``perf.*`` instrumentation counters
+the engine exposes. The committed ``BENCH_core.json`` is the trajectory
+anchor every perf claim in this repository is measured against.
+
+Usage
+-----
+::
+
+    # Measure and write a fresh baseline (optionally embedding an older
+    # measurement as the pre-change reference):
+    PYTHONPATH=src python benchmarks/record_baseline.py --out BENCH_core.json \
+        [--baseline old.json] [--label "post-index"]
+
+    # CI perf smoke: re-measure the fast workloads and compare events/s
+    # against the committed record; warns (exit 0) on >25% regression:
+    PYTHONPATH=src python benchmarks/record_baseline.py --compare BENCH_core.json
+
+The comparison is advisory: CI hardware varies run to run, so a
+regression prints a GitHub ``::warning::`` annotation instead of
+failing the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict
+
+SCHEMA = 1
+DEFAULT_WARN_THRESHOLD = 0.25
+
+
+def _perf_counters(result) -> Dict[str, int]:
+    """The ``perf.*`` subset of a result's counters (empty pre-index)."""
+    try:
+        counters = result.counters
+    except AttributeError:
+        return {}
+    return {k: v for k, v in counters.items() if k.startswith("perf.")}
+
+
+def measure_bench_runtime() -> Dict[str, Any]:
+    """bench_runtime's workloads: simulator + runtime on both traces."""
+    from repro.experiments.workloads import (
+        dieselnet_base_config,
+        dieselnet_trace,
+        nus_base_config,
+        nus_trace,
+    )
+    from repro.runtime import RuntimeHarness
+    from repro.sim.runner import Simulation
+
+    cases = {
+        "dieselnet": (dieselnet_trace("fast", 0), dieselnet_base_config(0)),
+        "nus": (nus_trace("fast", 0), nus_base_config(0)),
+    }
+    out: Dict[str, Any] = {}
+    total_events = 0.0
+    total_sim_s = 0.0
+    perf: Dict[str, int] = {}
+    for name, (trace, config) in cases.items():
+        t0 = time.perf_counter()
+        sim_result = Simulation(trace, config).run()
+        sim_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        runtime_result = RuntimeHarness(trace, config).run()
+        runtime_s = time.perf_counter() - t0
+        events = float(sim_result.extra.get("events", 0.0))
+        total_events += events
+        total_sim_s += sim_s
+        for key, value in _perf_counters(sim_result).items():
+            perf[key] = perf.get(key, 0) + value
+        out[name] = {
+            "sim_wall_s": round(sim_s, 4),
+            "runtime_wall_s": round(runtime_s, 4),
+            "events": int(events),
+            "events_per_s": round(events / sim_s, 1) if sim_s > 0 else 0.0,
+            "metadata_delivery_ratio": round(sim_result.metadata_delivery_ratio, 6),
+            "file_delivery_ratio": round(sim_result.file_delivery_ratio, 6),
+            "runtime_metadata_delivery_ratio": round(
+                runtime_result.metadata_delivery_ratio, 6
+            ),
+            "runtime_file_delivery_ratio": round(
+                runtime_result.file_delivery_ratio, 6
+            ),
+        }
+    out["events_per_s"] = (
+        round(total_events / total_sim_s, 1) if total_sim_s > 0 else 0.0
+    )
+    if perf:
+        out["perf_counters"] = perf
+    return out
+
+
+def measure_parallel_sweep(jobs: int = 4) -> Dict[str, Any]:
+    """bench_parallel_sweep's grid, serial and with worker processes."""
+    import os
+
+    from bench_parallel_sweep import _grid_specs
+    from repro.exec import run_many
+
+    specs = _grid_specs()
+    t0 = time.perf_counter()
+    run_many(specs, jobs=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_many(specs, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+    return {
+        "runs": len(specs),
+        "jobs": jobs,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s > 0 else 0.0,
+        "cores": os.cpu_count() or 1,
+    }
+
+
+def measure(label: str, quick: bool = False) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "label": label,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "bench_runtime": measure_bench_runtime(),
+    }
+    if not quick:
+        record["bench_parallel_sweep"] = measure_parallel_sweep()
+    return record
+
+
+def compare(path: str, threshold: float) -> int:
+    """Re-measure the fast workloads and warn on an events/s regression."""
+    with open(path, "r", encoding="utf-8") as handle:
+        recorded = json.load(handle)
+    reference = recorded.get("current", recorded)
+    ref_eps = float(reference["bench_runtime"]["events_per_s"])
+    fresh = measure_bench_runtime()
+    eps = float(fresh["events_per_s"])
+    ratio = eps / ref_eps if ref_eps > 0 else float("inf")
+    print(
+        f"perf smoke: measured {eps:.1f} events/s vs recorded "
+        f"{ref_eps:.1f} events/s ({ratio:.2f}x)"
+    )
+    if ratio < 1.0 - threshold:
+        # Non-blocking: hardware varies across CI runners, so this is an
+        # annotation for a human to look at, not a gate.
+        print(
+            f"::warning title=perf regression::bench_runtime events/s dropped to "
+            f"{ratio:.2f}x of the recorded baseline "
+            f"({eps:.1f} vs {ref_eps:.1f}; threshold {1.0 - threshold:.2f}x)"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", help="write the measurement to this JSON file")
+    parser.add_argument(
+        "--baseline",
+        help="embed a previously recorded measurement file as the "
+        "pre-change baseline section",
+    )
+    parser.add_argument("--label", default="current", help="measurement label")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the parallel-sweep measurement (CI smoke)",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BENCH_JSON",
+        help="compare fresh events/s against a recorded file and warn on "
+        "regression instead of recording",
+    )
+    parser.add_argument(
+        "--warn-threshold",
+        type=float,
+        default=DEFAULT_WARN_THRESHOLD,
+        help="fractional events/s drop that triggers the warning "
+        f"(default {DEFAULT_WARN_THRESHOLD})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.compare:
+        return compare(args.compare, args.warn_threshold)
+
+    record = measure(args.label, quick=args.quick)
+    payload: Dict[str, Any] = {"schema": SCHEMA, "current": record}
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        payload["baseline"] = baseline.get("current", baseline)
+        base_eps = float(payload["baseline"]["bench_runtime"]["events_per_s"])
+        cur_eps = float(record["bench_runtime"]["events_per_s"])
+        payload["events_per_s_speedup"] = (
+            round(cur_eps / base_eps, 2) if base_eps > 0 else None
+        )
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, "benchmarks")
+    sys.exit(main())

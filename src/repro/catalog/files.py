@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from functools import cached_property
 
 from repro.types import Uri
 
@@ -110,14 +112,30 @@ class FileDescriptor:
         """Absolute expiry time."""
         return self.created_at + self.ttl
 
-    @property
+    @cached_property
     def token_set(self) -> FrozenSet[str]:
-        """Title tokens as a set, for subset matching."""
+        """Title tokens as a set, for subset matching (cached)."""
         return frozenset(self.title_tokens)
 
     def is_live(self, now: float) -> bool:
         """Whether the file is already generated and not yet expired."""
         return self.created_at <= now < self.expires_at
+
+
+def bit_indices(bitmap: int) -> Iterator[int]:
+    """Yield the set bit positions of ``bitmap`` in ascending order."""
+    while bitmap:
+        low = bitmap & -bitmap
+        yield low.bit_length() - 1
+        bitmap ^= low
+
+
+def pack_bitmap(indices: Iterable[int]) -> int:
+    """Inverse of :func:`bit_indices`: fold indices into a bitmap."""
+    bitmap = 0
+    for index in indices:
+        bitmap |= 1 << index
+    return bitmap
 
 
 class PieceStore:
@@ -128,24 +146,47 @@ class PieceStore:
     :class:`IntegrityError` on mismatch). The store answers the two
     questions the download scheduler asks: which pieces of a URI do I
     hold, and is the file complete.
+
+    Held pieces are represented as one **bitmap int per URI** (bit *i*
+    set = piece *i* stored): membership, completeness and missing-piece
+    computations are single bitwise operations, and the download
+    scheduler can combine whole cliques' holdings with ``|``/``&``/``~``
+    instead of set algebra. :meth:`pieces_of` still materializes a
+    frozenset for callers that want one.
     """
 
     def __init__(self, payload_length: int = 64) -> None:
-        self._pieces: Dict[Uri, Set[int]] = {}
+        self._bitmaps: Dict[Uri, int] = {}
         self._completed: Dict[Uri, int] = {}
         self._payload_length = payload_length
 
     def __contains__(self, uri: Uri) -> bool:
-        return uri in self._pieces
+        return uri in self._bitmaps
 
     @property
     def uris(self) -> FrozenSet[Uri]:
         """URIs with at least one stored piece."""
-        return frozenset(self._pieces)
+        return frozenset(self._bitmaps)
+
+    def iter_uris(self) -> Iterator[Uri]:
+        """Stored URIs in insertion order (no frozenset allocation)."""
+        return iter(self._bitmaps)
+
+    def bitmap_of(self, uri: Uri) -> int:
+        """Bitmap of the stored pieces of ``uri`` (0 if none)."""
+        return self._bitmaps.get(uri, 0)
+
+    def has_piece(self, uri: Uri, index: int) -> bool:
+        """Whether piece ``index`` of ``uri`` is stored."""
+        return bool(self._bitmaps.get(uri, 0) >> index & 1)
+
+    def count_of(self, uri: Uri) -> int:
+        """Number of stored pieces of ``uri``."""
+        return self._bitmaps.get(uri, 0).bit_count()
 
     def pieces_of(self, uri: Uri) -> FrozenSet[int]:
         """Indices of the stored pieces of ``uri`` (empty if none)."""
-        return frozenset(self._pieces.get(uri, ()))
+        return frozenset(bit_indices(self._bitmaps.get(uri, 0)))
 
     def add(self, uri: Uri, index: int, payload: bytes, expected_checksum: str) -> bool:
         """Verify and store one piece; return True if it was new.
@@ -157,64 +198,65 @@ class PieceStore:
         """
         if piece_checksum(payload) != expected_checksum:
             raise IntegrityError(f"piece {uri}#{index} failed checksum verification")
-        held = self._pieces.setdefault(uri, set())
-        if index in held:
-            return False
-        held.add(index)
-        return True
+        return self.add_unverified(uri, index)
 
     def add_unverified(self, uri: Uri, index: int) -> bool:
         """Store a piece by reference (trusted source, e.g. Internet)."""
-        held = self._pieces.setdefault(uri, set())
-        if index in held:
+        mask = 1 << index
+        held = self._bitmaps.get(uri, 0)
+        if held & mask:
             return False
-        held.add(index)
+        self._bitmaps[uri] = held | mask
         return True
 
     def add_whole_file(self, uri: Uri, num_pieces: int) -> None:
         """Store every piece of a file (Internet direct download)."""
-        self._pieces.setdefault(uri, set()).update(range(num_pieces))
+        self._bitmaps[uri] = self._bitmaps.get(uri, 0) | ((1 << num_pieces) - 1)
         self._completed[uri] = num_pieces
 
     def is_complete(self, uri: Uri, num_pieces: int) -> bool:
         """Whether all ``num_pieces`` pieces of ``uri`` are stored."""
-        return len(self._pieces.get(uri, ())) >= num_pieces
+        return self._bitmaps.get(uri, 0).bit_count() >= num_pieces
 
     def missing_pieces(self, uri: Uri, num_pieces: int) -> Iterator[int]:
         """Yield the indices of pieces of ``uri`` not yet stored."""
-        held = self._pieces.get(uri, set())
-        for index in range(num_pieces):
-            if index not in held:
-                yield index
+        return bit_indices(self.missing_bitmap(uri, num_pieces))
+
+    def missing_bitmap(self, uri: Uri, num_pieces: int) -> int:
+        """Bitmap of the pieces of ``uri`` not yet stored."""
+        return ~self._bitmaps.get(uri, 0) & ((1 << num_pieces) - 1)
 
     def drop(self, uri: Uri) -> None:
         """Evict every piece of ``uri`` (e.g. on expiry)."""
-        self._pieces.pop(uri, None)
+        self._bitmaps.pop(uri, None)
         self._completed.pop(uri, None)
 
     def drop_piece(self, uri: Uri, index: int) -> bool:
         """Evict one piece; return True if it was stored."""
-        held = self._pieces.get(uri)
-        if held is None or index not in held:
+        held = self._bitmaps.get(uri, 0)
+        mask = 1 << index
+        if not held & mask:
             return False
-        held.discard(index)
-        if not held:
-            del self._pieces[uri]
+        held &= ~mask
+        if held:
+            self._bitmaps[uri] = held
+        else:
+            del self._bitmaps[uri]
             self._completed.pop(uri, None)
         return True
 
     def drop_expired(self, live_uris: FrozenSet[Uri]) -> List[Uri]:
         """Evict all URIs not in ``live_uris``; return what was dropped."""
-        dead = [uri for uri in self._pieces if uri not in live_uris]
+        dead = [uri for uri in self._bitmaps if uri not in live_uris]
         for uri in dead:
             self.drop(uri)
         return dead
 
     def total_pieces(self) -> int:
         """Total number of stored pieces across all URIs."""
-        return sum(len(p) for p in self._pieces.values())
+        return sum(bitmap.bit_count() for bitmap in self._bitmaps.values())
 
     def clear(self) -> None:
         """Drop every stored piece (node crash with storage loss)."""
-        self._pieces.clear()
+        self._bitmaps.clear()
         self._completed.clear()

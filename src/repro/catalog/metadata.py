@@ -14,6 +14,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.catalog.files import FileDescriptor, piece_checksums
@@ -53,9 +54,14 @@ class Metadata:
         """Absolute expiry time of the advertised file."""
         return self.created_at + self.ttl
 
-    @property
+    @cached_property
     def token_set(self) -> FrozenSet[str]:
-        """Tokenized name for keyword matching."""
+        """Tokenized name for keyword matching.
+
+        Cached per record: query matching consults it once per
+        (candidate, query) pair in the contact hot path, and the record
+        is immutable, so tokenizing the name more than once is waste.
+        """
         return frozenset(self.name.lower().split())
 
     def is_live(self, now: float) -> bool:
@@ -98,6 +104,11 @@ class PublisherRegistry:
     def __init__(self, master_seed: int = 0) -> None:
         self._master_seed = master_seed
         self._secrets: Dict[str, bytes] = {}
+        # Verification outcomes per record. Safe to memoize: records are
+        # immutable and a registered publisher's secret never changes
+        # (``register`` keeps existing secrets). Unknown-publisher
+        # rejections are NOT cached — the publisher could register later.
+        self._verify_cache: Dict["Metadata", bool] = {}
 
     def register(self, publisher: str) -> None:
         """Create (or keep) the signing secret of ``publisher``."""
@@ -138,9 +149,15 @@ def verify_metadata(metadata: Metadata, registry: PublisherRegistry) -> bool:
     """
     if not registry.is_trusted(metadata.publisher) or not metadata.signature:
         return False
+    cache = registry._verify_cache
+    cached = cache.get(metadata)
+    if cached is not None:
+        return cached
     secret = registry.secret_for(metadata.publisher)
     expected = hmac.new(secret, metadata.canonical_bytes(), hashlib.sha256).hexdigest()
-    return hmac.compare_digest(expected, metadata.signature)
+    ok = hmac.compare_digest(expected, metadata.signature)
+    cache[metadata] = ok
+    return ok
 
 
 def metadata_for_file(

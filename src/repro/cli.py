@@ -87,6 +87,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             churn_rate=args.churn_rate,
             seed=args.fault_seed,
         ),
+        profile=args.profile,
         seed=args.seed,
     )
     variants = (
@@ -114,7 +115,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{variant.value:>8}{result.metadata_delivery_ratio:>10.3f}"
             f"{result.file_delivery_ratio:>8.3f}{result.queries_generated:>9}"
         )
-    if args.counters:
+    if args.counters or args.profile:
         from repro.sim.metrics import format_counters
 
         for name, result in results.items():
@@ -226,6 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit results as JSON instead of a table")
     run.add_argument("--counters", action="store_true",
                      help="also print the instrumentation counters")
+    run.add_argument("--profile", action="store_true",
+                     help="enable wall-clock phase timers (perf.time_us.* "
+                          "counters; implies --counters)")
     run.set_defaults(handler=_cmd_run)
 
     figures = sub.add_parser("figures", help="regenerate paper figure panels")

@@ -18,10 +18,12 @@ loop that spends the budget lives in :mod:`repro.core.mbt`.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.catalog.metadata import Metadata
+from repro.core.cliqueview import CliqueView
 from repro.core.node import NodeState
 from repro.types import NodeId, Uri
 
@@ -76,6 +78,7 @@ def build_metadata_candidates(
     states: Mapping[NodeId, NodeState],
     now: float,
     include_foreign: bool,
+    view: Optional[CliqueView] = None,
 ) -> List[MetadataCandidate]:
     """Enumerate every useful metadata transmission in the clique.
 
@@ -84,6 +87,63 @@ def build_metadata_candidates(
     tokens the members advertise in their hellos; under full MBT
     (``include_foreign``) members also request on behalf of the
     frequent contacts whose queries they carry.
+
+    Matching runs through the clique-level inverted token index of
+    ``view`` (built on demand when absent): per member, the set of
+    clique URIs its queries match is the union of posting-set
+    intersections, instead of a subset test per (member, record) pair.
+    The result is order-independent — the canonical record per URI is
+    picked deterministically (see :class:`~repro.core.cliqueview.
+    CliqueView`) regardless of ``states`` iteration order.
+    """
+    if view is None:
+        view = CliqueView(states, now)
+    members = frozenset(states)
+    no_match: Set[Uri] = set()
+    own_match = {
+        n: view.matched_uris(s.own_query_tokens(now)) for n, s in states.items()
+    }
+    if include_foreign:
+        foreign_match = {
+            n: view.matched_uris(s.foreign_query_tokens(now))
+            for n, s in states.items()
+        }
+    else:
+        foreign_match = {n: no_match for n in states}
+
+    candidates: List[MetadataCandidate] = []
+    for uri, holders in view.md_holders.items():
+        missing = members - holders
+        if not missing:
+            continue
+        own = frozenset(node for node in missing if uri in own_match[node])
+        proxy = frozenset(
+            node
+            for node in missing
+            if node not in own and uri in foreign_match[node]
+        )
+        candidates.append(
+            MetadataCandidate(
+                metadata=view.record_by_uri[uri],
+                holders=frozenset(holders),
+                own_requesters=own,
+                proxy_requesters=proxy,
+                missing=frozenset(missing),
+            )
+        )
+    return candidates
+
+
+def build_metadata_candidates_reference(
+    states: Mapping[NodeId, NodeState],
+    now: float,
+    include_foreign: bool,
+) -> List[MetadataCandidate]:
+    """Naive reference implementation of :func:`build_metadata_candidates`.
+
+    Scans every member's full store and subset-tests every (member,
+    record) pair. Kept as the specification the indexed builder is
+    property-tested against (identical candidates on random cliques).
     """
     own_tokens = {n: s.own_query_tokens(now) for n, s in states.items()}
     if include_foreign:
@@ -93,12 +153,14 @@ def build_metadata_candidates(
 
     holders_by_uri: Dict[Uri, Set[NodeId]] = {}
     record_by_uri: Dict[Uri, Metadata] = {}
-    for node, state in states.items():
-        for record in state.metadata.records():
+    for node in sorted(states):
+        for record in states[node].metadata.records():
             if not record.is_live(now):
                 continue
             holders_by_uri.setdefault(record.uri, set()).add(node)
-            record_by_uri[record.uri] = record
+            existing = record_by_uri.get(record.uri)
+            if existing is None or record.popularity > existing.popularity:
+                record_by_uri[record.uri] = record
 
     members = frozenset(states)
     candidates: List[MetadataCandidate] = []
@@ -168,8 +230,17 @@ def tit_for_tat_rank_key(candidate: MetadataCandidate, sender: NodeState) -> Tup
 
 def select_cooperative(
     candidates: Sequence[MetadataCandidate],
+    limit: Optional[int] = None,
 ) -> List[MetadataCandidate]:
-    """Globally rank candidates for the coordinator (§IV-A)."""
+    """Globally rank candidates for the coordinator (§IV-A).
+
+    With ``limit`` (e.g. the contact's metadata budget), only the best
+    ``limit`` candidates are materialized via a lazy top-k instead of a
+    full sort; the rank key's URI tie-break makes the prefix identical
+    to ``sorted(...)[:limit]``.
+    """
+    if limit is not None:
+        return heapq.nsmallest(limit, candidates, key=cooperative_rank_key)
     return sorted(candidates, key=cooperative_rank_key)
 
 
@@ -177,9 +248,14 @@ def select_for_sender(
     candidates: Sequence[MetadataCandidate],
     sender: NodeState,
     tit_for_tat: bool,
+    limit: Optional[int] = None,
 ) -> List[MetadataCandidate]:
-    """Rank the candidates a given sender can transmit."""
+    """Rank the candidates a given sender can transmit (top-k with ``limit``)."""
     own = [c for c in candidates if sender.node in c.holders]
     if tit_for_tat:
-        return sorted(own, key=lambda c: tit_for_tat_rank_key(c, sender))
-    return sorted(own, key=cooperative_rank_key)
+        key = lambda c: tit_for_tat_rank_key(c, sender)  # noqa: E731
+    else:
+        key = cooperative_rank_key
+    if limit is not None:
+        return heapq.nsmallest(limit, own, key=key)
+    return sorted(own, key=key)

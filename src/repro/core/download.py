@@ -23,10 +23,13 @@ the *only* way metadata spread.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.catalog.files import bit_indices
 from repro.catalog.metadata import Metadata
+from repro.core.cliqueview import CliqueView
 from repro.core.node import NodeState
 from repro.types import NodeId, Uri
 
@@ -74,12 +77,72 @@ def advertised_downloads(
 def build_piece_candidates(
     states: Mapping[NodeId, NodeState],
     now: float,
+    view: Optional[CliqueView] = None,
 ) -> List[PieceCandidate]:
     """Enumerate every useful piece transmission in the clique.
 
     A sender must hold both the piece and the file's metadata (the
     checksums travel with the piece). Requesters come from the
     downloading URIs advertised in hellos.
+
+    The clique's metadata side (live URIs, canonical records, holder
+    sets) comes from ``view`` — built on demand when absent, shared
+    with the discovery phase by the protocol engine — and per-piece
+    membership is computed with the stores' bitmaps: one ``int`` per
+    (member, URI), combined bitwise instead of per-index set algebra.
+    """
+    if view is None:
+        view = CliqueView(states, now)
+    downloads = advertised_downloads(states, now)
+    members = frozenset(states)
+    member_list = list(states)
+
+    candidates: List[PieceCandidate] = []
+    for uri, record in view.record_by_uri.items():
+        holder_bitmaps = []
+        union = 0
+        for node in member_list:
+            bitmap = states[node].pieces.bitmap_of(uri)
+            if bitmap:
+                holder_bitmaps.append((node, bitmap))
+                union |= bitmap
+        if not union:
+            continue
+        eligible_pool = view.md_holders[uri]
+        wanting = [node for node in member_list if uri in downloads[node]]
+        for index in bit_indices(union):
+            mask = 1 << index
+            holders = {node for node, bitmap in holder_bitmaps if bitmap & mask}
+            eligible_senders = frozenset(holders & eligible_pool)
+            if not eligible_senders:
+                continue
+            missing = members - holders
+            if not missing:
+                continue
+            requesters = frozenset(
+                node for node in wanting if node not in holders
+            )
+            candidates.append(
+                PieceCandidate(
+                    metadata=record,
+                    index=index,
+                    holders=eligible_senders,
+                    requesters=requesters,
+                    missing=frozenset(missing),
+                )
+            )
+    return candidates
+
+
+def build_piece_candidates_reference(
+    states: Mapping[NodeId, NodeState],
+    now: float,
+) -> List[PieceCandidate]:
+    """Naive reference implementation of :func:`build_piece_candidates`.
+
+    Walks per-index piece sets and scans every member's metadata store.
+    Kept as the specification the bitmap-based builder is
+    property-tested against (identical candidates on random cliques).
     """
     downloads = advertised_downloads(states, now)
     members = frozenset(states)
@@ -87,11 +150,14 @@ def build_piece_candidates(
     # Which live metadata does each member hold (for send eligibility)?
     metadata_by_uri: Dict[Uri, Metadata] = {}
     md_holders: Dict[Uri, Set[NodeId]] = {}
-    for node, state in states.items():
-        for record in state.metadata.records():
-            if record.is_live(now):
+    for node in sorted(states):
+        for record in states[node].metadata.records():
+            if not record.is_live(now):
+                continue
+            md_holders.setdefault(record.uri, set()).add(node)
+            existing = metadata_by_uri.get(record.uri)
+            if existing is None or record.popularity > existing.popularity:
                 metadata_by_uri[record.uri] = record
-                md_holders.setdefault(record.uri, set()).add(node)
 
     piece_holders: Dict[Tuple[Uri, int], Set[NodeId]] = {}
     for node, state in states.items():
@@ -154,8 +220,18 @@ def tit_for_tat_rank_key(candidate: PieceCandidate, sender: NodeState) -> Tuple:
     )
 
 
-def select_cooperative(candidates: Sequence[PieceCandidate]) -> List[PieceCandidate]:
-    """Globally rank piece candidates for the coordinator (§V-A)."""
+def select_cooperative(
+    candidates: Sequence[PieceCandidate],
+    limit: Optional[int] = None,
+) -> List[PieceCandidate]:
+    """Globally rank piece candidates for the coordinator (§V-A).
+
+    With ``limit`` (the contact's piece budget), a lazy top-k replaces
+    the full sort; the (URI, index) tie-break makes the prefix
+    identical to ``sorted(...)[:limit]``.
+    """
+    if limit is not None:
+        return heapq.nsmallest(limit, candidates, key=cooperative_rank_key)
     return sorted(candidates, key=cooperative_rank_key)
 
 
@@ -163,9 +239,14 @@ def select_for_sender(
     candidates: Sequence[PieceCandidate],
     sender: NodeState,
     tit_for_tat: bool,
+    limit: Optional[int] = None,
 ) -> List[PieceCandidate]:
-    """Rank the piece candidates a given sender can transmit."""
+    """Rank the piece candidates a sender can transmit (top-k with ``limit``)."""
     own = [c for c in candidates if sender.node in c.holders]
     if tit_for_tat:
-        return sorted(own, key=lambda c: tit_for_tat_rank_key(c, sender))
-    return sorted(own, key=cooperative_rank_key)
+        key = lambda c: tit_for_tat_rank_key(c, sender)  # noqa: E731
+    else:
+        key = cooperative_rank_key
+    if limit is not None:
+        return heapq.nsmallest(limit, own, key=key)
+    return sorted(own, key=key)

@@ -24,6 +24,7 @@ Scheduling modes:
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -32,10 +33,12 @@ from repro.catalog.generator import DailyBatch
 from repro.catalog.metadata import Metadata
 from repro.catalog.server import FileServer, MetadataServer
 from repro.core import discovery, download
+from repro.core.cliqueview import CliqueView
 from repro.core.coordinator import cyclic_order, elect_coordinator
 from repro.core.node import NodeState
 from repro.faults import FaultInjector, corrupt_payload
 from repro.net.medium import BroadcastMedium, ContactBudget, PairwiseMedium, TransmissionMedium
+from repro.perf import PerfRecorder
 from repro.sim.metrics import MetricsCollector
 from repro.traces.base import Contact
 from repro.types import NodeId, Uri
@@ -202,6 +205,7 @@ class MobileBitTorrent:
         metrics: MetricsCollector,
         config: ProtocolConfig,
         faults: Optional[FaultInjector] = None,
+        perf: Optional[PerfRecorder] = None,
     ) -> None:
         self._states = dict(states)
         self._metadata_server = metadata_server
@@ -213,6 +217,9 @@ class MobileBitTorrent:
         #: Nodes currently crashed by churn injection.
         self._down: Set[NodeId] = set()
         self.counters = EngineCounters()
+        #: ``perf.*`` instrumentation; counters are always collected,
+        #: wall-clock timers only when the recorder profiles.
+        self.perf = perf if perf is not None else PerfRecorder()
 
     @property
     def states(self) -> Mapping[NodeId, NodeState]:
@@ -303,7 +310,10 @@ class MobileBitTorrent:
                     self._accept_metadata(state, record, now)
 
         # Download: access nodes have enough bandwidth for what they need.
-        for uri in state.wanted_uris(now):
+        # Sorted: each download touches LRU recency and the bounded
+        # piece buffer, so raw set-iteration order (which varies with
+        # the interpreter's string-hash seed) would leak into results.
+        for uri in sorted(state.wanted_uris(now)):
             self._download_from_internet(state, uri, now)
 
         # Push: the server continues with popular metadata (§IV), except
@@ -397,13 +407,26 @@ class MobileBitTorrent:
         else:
             cliques = [contact.members]
         budget = self._contact_budget(contact, budget_scale)
+        perf = self.perf
         for members in cliques:
             self.counters.cliques_processed += 1
             states = {node: self._states[node] for node in members}
+            token = perf.start()
             self._exchange_hellos(states, now)
+            perf.stop("hellos", token)
+            # One clique view serves both phases of this contact; the
+            # metadata phase patches it incrementally as records spread.
+            token = perf.start()
+            view = CliqueView(states, now)
+            perf.stop("view_build", token)
+            perf.count("view_builds")
             if self._config.variant.distributes_metadata:
-                self._run_metadata_phase(states, members, now, budget.metadata)
-            self._run_piece_phase(states, members, now, budget.pieces)
+                token = perf.start()
+                self._run_metadata_phase(states, members, now, budget.metadata, view)
+                perf.stop("metadata_phase", token)
+            token = perf.start()
+            self._run_piece_phase(states, members, now, budget.pieces, view)
+            perf.stop("piece_phase", token)
 
     def _contact_budget(self, contact: Contact, scale: float = 1.0) -> ContactBudget:
         """Fixed per-contact budget, or one derived from the duration.
@@ -459,22 +482,24 @@ class MobileBitTorrent:
         members: FrozenSet[NodeId],
         now: float,
         budget: Optional[int] = None,
+        view: Optional[CliqueView] = None,
     ) -> None:
         if budget is None:
             budget = self._config.budget.metadata
         if budget <= 0:
             return
         include_foreign = self._config.variant.distributes_queries
-        raw = discovery.build_metadata_candidates(states, now, include_foreign)
+        raw = discovery.build_metadata_candidates(states, now, include_foreign, view)
         candidates = [_MutableMetaCandidate(c) for c in raw]
+        self.perf.count("meta_candidates", len(candidates))
         if not candidates:
             return
 
         mode = self._config.effective_scheduling()
         if mode is SchedulingMode.COORDINATOR:
-            self._metadata_coordinator_loop(states, members, candidates, budget, now)
+            self._metadata_coordinator_loop(states, members, candidates, budget, now, view)
         else:
-            self._metadata_cyclic_loop(states, members, candidates, budget, now)
+            self._metadata_cyclic_loop(states, members, candidates, budget, now, view)
 
     def _meta_key(self, cand: _MutableMetaCandidate) -> Tuple:
         phase = 0 if (cand.own_requesters or cand.proxy_requesters) else 1
@@ -498,6 +523,7 @@ class MobileBitTorrent:
         candidates: List[_MutableMetaCandidate],
         budget: int,
         now: float,
+        view: Optional[CliqueView] = None,
     ) -> None:
         # Coordinator election is deterministic; with full clique
         # knowledge it always schedules the globally best candidate.
@@ -508,7 +534,7 @@ class MobileBitTorrent:
                 break
             best = min(sendable, key=self._meta_key)
             sender = min(self._senders_of(best, states))
-            if not self._transmit_metadata(states, members, best, sender, now):
+            if not self._transmit_metadata(states, members, best, sender, now, view):
                 candidates.remove(best)
                 continue
             if not best.missing:
@@ -521,6 +547,7 @@ class MobileBitTorrent:
         candidates: List[_MutableMetaCandidate],
         budget: int,
         now: float,
+        view: Optional[CliqueView] = None,
     ) -> None:
         order = cyclic_order(members)
         spent = 0
@@ -533,13 +560,20 @@ class MobileBitTorrent:
             if sender.selfish:
                 idle_turns += 1
                 continue
-            own = sorted(
-                (c for c in candidates if sender_id in c.holders and c.missing),
-                key=lambda c: self._meta_tft_key(c, sender),
-            )
+            # Lazy top-k: heapify the sender's candidates and pop until
+            # one transmits — the rank keys are unique (URI tie-break),
+            # so the pop order equals the former full sort's order while
+            # usually materializing only the first element.
+            heap = [
+                (self._meta_tft_key(c, sender), c)
+                for c in candidates
+                if sender_id in c.holders and c.missing
+            ]
+            heapq.heapify(heap)
             sent = False
-            for cand in own:
-                sent = self._transmit_metadata(states, members, cand, sender_id, now)
+            while heap:
+                __, cand = heapq.heappop(heap)
+                sent = self._transmit_metadata(states, members, cand, sender_id, now, view)
                 if not cand.missing:
                     candidates.remove(cand)
                 if sent:
@@ -562,6 +596,7 @@ class MobileBitTorrent:
         cand: _MutableMetaCandidate,
         sender: NodeId,
         now: float,
+        view: Optional[CliqueView] = None,
     ) -> bool:
         """Broadcast (or unicast) one record; return True if sent."""
         if self._medium.name == "broadcast":
@@ -581,7 +616,16 @@ class MobileBitTorrent:
         for receiver in receivers:
             state = states[receiver]
             requested = any(q.matches(record) for q in state.own_queries(now))
+            mutations_before = state.metadata.mutations
+            evictions_before = state.metadata.evictions
             new = state.accept_metadata(record, now)
+            if view is not None:
+                if state.metadata.evictions != evictions_before:
+                    # The insert displaced some other record; the view's
+                    # holder sets for that record are now stale.
+                    view.mark_dirty()
+                elif state.metadata.mutations != mutations_before:
+                    view.note_holder(receiver, record)
             if new:
                 self._metrics.on_metadata(receiver, record.uri, now)
                 if requested:
@@ -634,13 +678,22 @@ class MobileBitTorrent:
         members: FrozenSet[NodeId],
         now: float,
         budget: Optional[int] = None,
+        view: Optional[CliqueView] = None,
     ) -> None:
         if budget is None:
             budget = self._config.budget.pieces
         if budget <= 0:
             return
-        raw = download.build_piece_candidates(states, now)
+        if view is not None:
+            # Reuse the discovery phase's view; a mid-contact eviction
+            # (rare) forces one full rebuild here.
+            if view.refresh():
+                self.perf.count("view_rebuilds")
+            else:
+                self.perf.count("view_reuses")
+        raw = download.build_piece_candidates(states, now, view)
         candidates = [_MutablePieceCandidate(c) for c in raw]
+        self.perf.count("piece_candidates", len(candidates))
         if not candidates:
             return
 
@@ -705,12 +758,17 @@ class MobileBitTorrent:
             if sender.selfish:
                 idle_turns += 1
                 continue
-            own = sorted(
-                (c for c in candidates if sender_id in c.holders and c.missing),
-                key=lambda c: self._piece_tft_key(c, sender),
-            )
+            # Lazy top-k, as in the metadata cyclic loop: unique rank
+            # keys make heap-pop order equal the former full sort.
+            heap = [
+                (self._piece_tft_key(c, sender), c)
+                for c in candidates
+                if sender_id in c.holders and c.missing
+            ]
+            heapq.heapify(heap)
             sent = False
-            for cand in own:
+            while heap:
+                __, cand = heapq.heappop(heap)
                 sent = self._transmit_piece(
                     states, members, candidates, cand, sender_id, now
                 )

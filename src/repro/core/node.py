@@ -17,7 +17,7 @@ A node runs a file-discovery process and a file-download process
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.catalog.files import IntegrityError, PieceStore
 from repro.catalog.metadata import Metadata, PublisherRegistry, verify_metadata
@@ -83,6 +83,14 @@ class MetadataStore:
     Records matching one of the owner's *protected* URIs (metadata for
     files the node itself wants) are never evicted while an
     unprotected victim exists.
+
+    The store maintains an **inverted token→URI index** over its
+    records so conjunctive keyword matching (:meth:`matching_uris`) is
+    an intersection of per-token posting sets instead of a scan of
+    every record. The index covers *all* stored records; liveness is
+    the caller's concern (filter at query time). ``mutations`` counts
+    every content change and lets callers key derived caches off store
+    state without subscribing to individual operations.
     """
 
     def __init__(self, capacity: Optional[int] = None, policy: str = "popularity") -> None:
@@ -94,8 +102,15 @@ class MetadataStore:
         self._policy = policy
         #: Records evicted (not expired) over the store's lifetime.
         self.evictions = 0
+        #: Content mutations (adds, evictions, expiries, clears) over
+        #: the store's lifetime; cache-key material for derived views.
+        self.mutations = 0
+        #: Conjunctive-match queries answered through the token index.
+        self.index_queries = 0
         #: Insertion-ordered; LRU moves entries to the end on access.
         self._records: Dict[Uri, Metadata] = {}
+        #: Inverted index: name token -> URIs of records carrying it.
+        self._token_index: Dict[str, Set[Uri]] = {}
 
     def __contains__(self, uri: Uri) -> bool:
         return uri in self._records
@@ -109,6 +124,15 @@ class MetadataStore:
             self._records[uri] = self._records.pop(uri)  # touch
         return record
 
+    def peek(self, uri: Uri) -> Optional[Metadata]:
+        """Look up a record *without* touching LRU recency.
+
+        Index-driven scans (candidate builders, wanted-set refreshes)
+        must use this instead of :meth:`get`: they are bookkeeping, not
+        user accesses, and must not perturb the eviction order.
+        """
+        return self._records.get(uri)
+
     @property
     def uris(self) -> FrozenSet[Uri]:
         return frozenset(self._records)
@@ -116,6 +140,47 @@ class MetadataStore:
     def records(self) -> List[Metadata]:
         """All records, unordered."""
         return list(self._records.values())
+
+    def uris_in_order(self) -> Iterator[Uri]:
+        """URIs in store order (insertion order; LRU recency order)."""
+        return iter(self._records)
+
+    def matching_uris(self, tokens: FrozenSet[str]) -> Set[Uri]:
+        """URIs whose records match the conjunctive token set.
+
+        Equivalent to ``{uri for uri, md in records if tokens <=
+        md.token_set}`` but computed as an intersection of inverted-
+        index posting sets, smallest first. Includes expired records —
+        filter by liveness at the call site when it matters.
+        """
+        self.index_queries += 1
+        if not tokens:
+            return set(self._records)
+        postings = []
+        for token in tokens:
+            posting = self._token_index.get(token)
+            if not posting:
+                return set()
+            postings.append(posting)
+        postings.sort(key=len)
+        result = set(postings[0])
+        for posting in postings[1:]:
+            result &= posting
+            if not result:
+                break
+        return result
+
+    def _index_add(self, record: Metadata) -> None:
+        for token in record.token_set:
+            self._token_index.setdefault(token, set()).add(record.uri)
+
+    def _index_remove(self, record: Metadata) -> None:
+        for token in record.token_set:
+            posting = self._token_index.get(token)
+            if posting is not None:
+                posting.discard(record.uri)
+                if not posting:
+                    del self._token_index[token]
 
     def may_evict_on_insert(self, uri: Uri) -> bool:
         """Whether inserting ``uri`` could trigger an eviction."""
@@ -136,8 +201,15 @@ class MetadataStore:
         utility policy's remaining-TTL computation (defaults to the
         record's creation time when absent).
         """
-        new = metadata.uri not in self._records
+        old = self._records.get(metadata.uri)
+        new = old is None
+        if old is not None and old.token_set != metadata.token_set:
+            self._index_remove(old)
+            old = None
         self._records[metadata.uri] = metadata
+        if old is None:
+            self._index_add(metadata)
+        self.mutations += 1
         if new and self._capacity is not None and len(self._records) > self._capacity:
             at = now if now is not None else metadata.created_at
             self._evict_one(protected | {metadata.uri}, at)
@@ -163,13 +235,17 @@ class MetadataStore:
             # are the earliest entry in the ordered dict.
             victim = victims[0]
         del self._records[victim.uri]
+        self._index_remove(victim)
         self.evictions += 1
+        self.mutations += 1
 
     def drop_expired(self, now: float) -> List[Uri]:
         """Remove expired records; return removed URIs."""
         dead = [uri for uri, md in self._records.items() if not md.is_live(now)]
         for uri in dead:
-            del self._records[uri]
+            self._index_remove(self._records.pop(uri))
+        if dead:
+            self.mutations += 1
         return dead
 
     def clear(self) -> None:
@@ -179,6 +255,8 @@ class MetadataStore:
         node's history, not its current contents.
         """
         self._records.clear()
+        self._token_index.clear()
+        self.mutations += 1
 
 
 class NodeState:
@@ -228,6 +306,20 @@ class NodeState:
         #: derived sets (wanted URIs) be cached between mutations.
         self._version = 0
         self._wanted_cache: Tuple[int, float, FrozenSet[Uri]] = (-1, -1.0, frozenset())
+        #: Bumped whenever the carried query population changes (own
+        #: query added, foreign queries stored, expiry, wipe); keys the
+        #: memoized live-query and token-tuple views below.
+        self._query_version = 0
+        self._own_live_cache: Tuple[int, float, List[Query]] = (-1, -1.0, [])
+        self._foreign_live_cache: Tuple[int, float, List[Query]] = (-1, -1.0, [])
+        self._own_tokens_cache: Tuple[int, float, Tuple[FrozenSet[str], ...]] = (-1, -1.0, ())
+        self._foreign_tokens_cache: Tuple[int, float, Tuple[FrozenSet[str], ...]] = (-1, -1.0, ())
+        #: Deterministic cache instrumentation, aggregated into the
+        #: run-level ``perf.*`` counters by the simulation runner.
+        self.wanted_cache_hits = 0
+        self.wanted_cache_misses = 0
+        self.query_cache_hits = 0
+        self.query_cache_misses = 0
 
     # -- queries ------------------------------------------------------------------
 
@@ -236,10 +328,23 @@ class NodeState:
             raise ValueError(f"query of node {query.node} given to node {self.node}")
         self._own_queries.append(query)
         self._version += 1
+        self._query_version += 1
 
     def own_queries(self, now: float) -> List[Query]:
-        """The node's live standing queries."""
-        return [q for q in self._own_queries if q.is_live(now)]
+        """The node's live standing queries.
+
+        Memoized per ``(query population, now)`` — contact processing
+        asks several times at the same instant. Returns a fresh list;
+        callers may extend it.
+        """
+        version, cached_now, cached = self._own_live_cache
+        if version == self._query_version and cached_now == now:
+            self.query_cache_hits += 1
+            return list(cached)
+        self.query_cache_misses += 1
+        live = [q for q in self._own_queries if q.is_live(now)]
+        self._own_live_cache = (self._query_version, now, live)
+        return list(live)
 
     def store_foreign_queries(self, peer: NodeId, queries: Iterable[Query]) -> None:
         """Remember a frequent contact's queries (full MBT only)."""
@@ -250,13 +355,20 @@ class NodeState:
             if key not in known:
                 stored.append(query)
                 known.add(key)
+                self._query_version += 1
 
     def foreign_queries(self, now: float) -> List[Query]:
-        """Live stored queries of frequent contacts."""
-        out: List[Query] = []
+        """Live stored queries of frequent contacts (memoized)."""
+        version, cached_now, cached = self._foreign_live_cache
+        if version == self._query_version and cached_now == now:
+            self.query_cache_hits += 1
+            return list(cached)
+        self.query_cache_misses += 1
+        live: List[Query] = []
         for queries in self._foreign_queries.values():
-            out.extend(q for q in queries if q.is_live(now))
-        return out
+            live.extend(q for q in queries if q.is_live(now))
+        self._foreign_live_cache = (self._query_version, now, live)
+        return list(live)
 
     def carried_queries(self, now: float, include_foreign: bool) -> List[Query]:
         """Queries the node advertises and pulls for.
@@ -271,24 +383,36 @@ class NodeState:
 
     def query_tokens(self, now: float, include_foreign: bool) -> Tuple[FrozenSet[str], ...]:
         """Token sets for the hello message."""
-        return tuple(q.tokens for q in self.carried_queries(now, include_foreign))
+        tokens = self.own_query_tokens(now)
+        if include_foreign:
+            tokens = tokens + self.foreign_query_tokens(now)
+        return tokens
 
     def own_query_tokens(self, now: float) -> Tuple[FrozenSet[str], ...]:
-        """Token sets of the node's own live queries."""
-        return tuple(q.tokens for q in self.own_queries(now))
+        """Token sets of the node's own live queries (memoized)."""
+        version, cached_now, cached = self._own_tokens_cache
+        if version == self._query_version and cached_now == now:
+            return cached
+        tokens = tuple(q.tokens for q in self.own_queries(now))
+        self._own_tokens_cache = (self._query_version, now, tokens)
+        return tokens
 
     def foreign_query_tokens(self, now: float) -> Tuple[FrozenSet[str], ...]:
-        """Token sets carried for frequent contacts (full MBT)."""
-        return tuple(q.tokens for q in self.foreign_queries(now))
+        """Token sets carried for frequent contacts (memoized)."""
+        version, cached_now, cached = self._foreign_tokens_cache
+        if version == self._query_version and cached_now == now:
+            return cached
+        tokens = tuple(q.tokens for q in self.foreign_queries(now))
+        self._foreign_tokens_cache = (self._query_version, now, tokens)
+        return tokens
 
     def unmatched_own_queries(self, now: float) -> List[Query]:
         """Own live queries with no matching metadata in the store."""
-        records = self.metadata.records()
-        out = []
-        for query in self.own_queries(now):
-            if not any(query.matches(md) for md in records):
-                out.append(query)
-        return out
+        return [
+            query
+            for query in self.own_queries(now)
+            if not self.metadata.matching_uris(query.tokens)
+        ]
 
     # -- wanted files ---------------------------------------------------------------
 
@@ -308,18 +432,37 @@ class NodeState:
 
         A URI stays wanted until all its pieces are stored. The result
         is cached until the next state mutation at the same instant
-        (contact processing calls this in hot loops).
+        (contact processing calls this in hot loops). Matching runs
+        through the metadata store's inverted token index instead of a
+        full-store scan.
         """
         version, cached_now, cached = self._wanted_cache
         if version == self._version and cached_now == now:
+            self.wanted_cache_hits += 1
             return cached
+        self.wanted_cache_misses += 1
+        peek = self.metadata.peek
         wanted: Set[Uri] = set()
-        records = self.metadata.records()
+        # Equal frozensets built in different element orders can still
+        # iterate differently (hash-collision layout), and callers such
+        # as internet_sync iterate this set to sequence downloads — so
+        # insert in the historical (query, store-scan) order the full
+        # scan produced, not in index-intersection order. The position
+        # map is O(store), so build it only once a query matches.
+        position: Optional[Dict[Uri, int]] = None
         for query in self.own_queries(now):
+            hits = self.metadata.matching_uris(query.tokens)
+            if not hits:
+                continue
+            if position is None:
+                position = {
+                    uri: i for i, uri in enumerate(self.metadata.uris_in_order())
+                }
+            matched = sorted(hits, key=position.__getitem__)
             matches = [
                 record
-                for record in records
-                if record.is_live(now) and query.matches(record)
+                for record in map(peek, matched)
+                if record is not None and record.is_live(now)
             ]
             if not matches:
                 continue
@@ -351,9 +494,7 @@ class NodeState:
         """Metadata URIs shielded from eviction (they match own queries)."""
         protected: Set[Uri] = set()
         for query in self.own_queries(now):
-            for record in self.metadata.records():
-                if query.matches(record):
-                    protected.add(record.uri)
+            protected |= self.metadata.matching_uris(query.tokens)
         return frozenset(protected)
 
     # -- receiving ------------------------------------------------------------------
@@ -421,22 +562,25 @@ class NodeState:
             return True
         keep = self.protected_uris(now)
         while self.pieces.total_pieces() >= self.piece_capacity:
-            victims = [
+            # Sorted: the eviction key reads each victim's metadata via
+            # get(), which touches LRU recency — set-iteration order
+            # here would make the touch sequence hash-seed dependent.
+            victims = sorted(
                 uri
                 for uri in self.pieces.uris
                 if uri != incoming_uri and uri not in keep
-            ]
+            )
             if not victims:
                 # Everything stored is the owner's (or the incoming
                 # file): only admit the piece if it is itself wanted,
                 # evicting the least popular other kept file.
                 if incoming_uri not in keep:
                     return False
-                victims = [uri for uri in self.pieces.uris if uri != incoming_uri]
+                victims = sorted(uri for uri in self.pieces.uris if uri != incoming_uri)
                 if not victims:
                     return True  # buffer holds only this file's pieces
             victim = min(victims, key=self._eviction_key)
-            self.stats.piece_evictions += len(self.pieces.pieces_of(victim))
+            self.stats.piece_evictions += self.pieces.count_of(victim)
             self.pieces.drop(victim)
             self._version += 1
         return True
@@ -498,10 +642,12 @@ class NodeState:
         self._peer_requests.clear()
         self.neighbor_last_heard.clear()
         self._version += 1
+        self._query_version += 1
 
     def expire(self, now: float) -> None:
         """Drop expired metadata, queries and orphaned pieces."""
         self._version += 1
+        self._query_version += 1
         self.metadata.drop_expired(now)
         self._own_queries = [q for q in self._own_queries if q.is_live(now)]
         for peer in list(self._foreign_queries):

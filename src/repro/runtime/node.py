@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.catalog.files import IntegrityError, piece_payload
+from repro.catalog.files import IntegrityError, bit_indices, pack_bitmap, piece_payload
 from repro.core.mbt import ProtocolConfig
 from repro.core.node import NodeState
 from repro.runtime import codec
@@ -49,8 +49,10 @@ class DTNNode:
         self.peer_downloading: Dict[NodeId, Set[Uri]] = {}
         #: Metadata-store digests per peer.
         self.peer_held: Dict[NodeId, Set[Uri]] = {}
-        #: Have-maps per peer: uri -> piece indices the peer holds.
-        self.peer_have: Dict[NodeId, Dict[Uri, Set[int]]] = {}
+        #: Have-maps per peer: uri -> bitmap of piece indices the peer
+        #: holds (bit ``i`` set = piece ``i``). The hello wire format
+        #: stays a sorted index list; bitmaps are the in-memory form.
+        self.peer_have: Dict[NodeId, Dict[Uri, int]] = {}
         #: Members of the contact currently in progress (broadcast
         #: inference: every data frame on the air reached all of them).
         self.current_clique: FrozenSet[NodeId] = frozenset()
@@ -88,11 +90,11 @@ class DTNNode:
                 tuple(tokens) for tokens in self.state.own_query_tokens(now)
             ),
             carried_query_tokens=tuple(tuple(tokens) for tokens in carried),
-            downloading=tuple(str(u) for u in self.state.wanted_uris(now)),
-            held_uris=tuple(str(u) for u in self.state.metadata.uris),
+            downloading=tuple(sorted(str(u) for u in self.state.wanted_uris(now))),
+            held_uris=tuple(sorted(str(u) for u in self.state.metadata.uris)),
             have={
                 str(uri): tuple(sorted(self.state.pieces.pieces_of(uri)))
-                for uri in self.state.pieces.uris
+                for uri in sorted(self.state.pieces.uris)
             },
         )
 
@@ -178,13 +180,12 @@ class DTNNode:
             record = self.state.metadata.get(uri)
             if record is None or not record.is_live(now):
                 continue
-            held = self.state.pieces.pieces_of(uri)
-            for index in held:
+            for index in bit_indices(self.state.pieces.bitmap_of(uri)):
+                mask = 1 << index
                 requesters = 0
                 lacking = 0
                 for peer in peers:
-                    peer_bitmap = self.peer_have.get(peer, {}).get(uri, set())
-                    if index in peer_bitmap:
+                    if self.peer_have.get(peer, {}).get(uri, 0) & mask:
                         continue
                     lacking += 1
                     if uri in self.peer_downloading.get(peer, set()):
@@ -232,7 +233,8 @@ class DTNNode:
                 if peer == self.node_id:
                     continue
                 self.peer_held.setdefault(peer, set()).add(uri)
-                self.peer_have.setdefault(peer, {}).setdefault(uri, set()).add(index)
+                have = self.peer_have.setdefault(peer, {})
+                have[uri] = have.get(uri, 0) | (1 << index)
 
     # -- receiving -------------------------------------------------------------------
 
@@ -266,8 +268,8 @@ class DTNNode:
         }
         self.peer_held[sender] = {Uri(str(u)) for u in frame.field("held_uris")}
         self.peer_have[sender] = {
-            Uri(str(uri)): set(int(i) for i in bitmap)
-            for uri, bitmap in frame.field("have").items()
+            Uri(str(uri)): pack_bitmap(int(i) for i in indices)
+            for uri, indices in frame.field("have").items()
         }
 
     def _mark_clique_received(self, uri: Uri, index: Optional[int] = None) -> None:
@@ -277,7 +279,8 @@ class DTNNode:
                 continue
             self.peer_held.setdefault(peer, set()).add(uri)
             if index is not None:
-                self.peer_have.setdefault(peer, {}).setdefault(uri, set()).add(index)
+                have = self.peer_have.setdefault(peer, {})
+                have[uri] = have.get(uri, 0) | (1 << index)
 
     def _on_metadata(self, frame: Frame, now: float) -> None:
         try:

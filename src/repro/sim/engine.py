@@ -57,10 +57,19 @@ class Event:
 
 
 class EventQueue:
-    """A stable priority queue of :class:`Event` objects."""
+    """A stable priority queue of scheduled callbacks.
+
+    Heap entries are plain ``(time, priority, sequence, action)``
+    tuples — the sort key is stored once, not duplicated into a frozen
+    :class:`Event`'s compare fields, and no dataclass is allocated per
+    push. The unique ``sequence`` guarantees tuple comparison never
+    reaches the (incomparable) action. :class:`Event` objects are
+    materialized only where the public API returns them (:meth:`push`'s
+    handle, :meth:`pop`).
+    """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[tuple[float, int, int], Event]] = []
+        self._heap: list[tuple[float, int, int, Callable[[], None]]] = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:
@@ -71,9 +80,9 @@ class EventQueue:
 
     def push(self, time: float, action: Callable[[], None], priority: int = 0) -> Event:
         """Insert an event and return it."""
-        event = Event(time=time, priority=priority, sequence=next(self._counter), action=action)
-        heapq.heappush(self._heap, (event.sort_key(), event))
-        return event
+        sequence = next(self._counter)
+        heapq.heappush(self._heap, (time, priority, sequence, action))
+        return Event(time=time, priority=priority, sequence=sequence, action=action)
 
     def pop(self) -> Event:
         """Remove and return the earliest event.
@@ -83,14 +92,22 @@ class EventQueue:
         IndexError
             If the queue is empty.
         """
-        __, event = heapq.heappop(self._heap)
-        return event
+        time, priority, sequence, action = heapq.heappop(self._heap)
+        return Event(time=time, priority=priority, sequence=sequence, action=action)
+
+    def pop_entry(self) -> tuple[float, int, int, Callable[[], None]]:
+        """Remove and return the earliest raw heap entry (no Event).
+
+        The engine's inner loop uses this to skip the per-step Event
+        allocation; external callers should prefer :meth:`pop`.
+        """
+        return heapq.heappop(self._heap)
 
     def peek_time(self) -> Optional[float]:
         """Return the fire time of the earliest event, or ``None``."""
         if not self._heap:
             return None
-        return self._heap[0][1].time
+        return self._heap[0][0]
 
 
 class Simulator:
@@ -184,12 +201,12 @@ class Simulator:
         """Execute the next event. Return ``False`` if none remained."""
         if not self._queue:
             return False
-        event = self._queue.pop()
-        self._now = event.time
-        event.action()
+        time, priority, __, action = self._queue.pop_entry()
+        self._now = time
+        action()
         self._events_executed += 1
-        self._events_by_priority[event.priority] = (
-            self._events_by_priority.get(event.priority, 0) + 1
+        self._events_by_priority[priority] = (
+            self._events_by_priority.get(priority, 0) + 1
         )
         return True
 

@@ -74,6 +74,13 @@ COUNTER_KEYS: Tuple[str, ...] = (
     "faults.rebirths",
 )
 
+#: Prefix of the performance-instrumentation namespace (see
+#: :mod:`repro.perf`). Counters under it are advisory — deterministic
+#: index/cache statistics plus, under ``--profile``, wall-clock phase
+#: timers as ``perf.time_us.*`` — and are excluded from bitwise
+#: result-identity comparisons.
+PERF_COUNTER_PREFIX = "perf."
+
 
 def format_counters(counters: Mapping[str, int]) -> str:
     """Aligned two-column rendering of an instrumentation-counter dict."""
@@ -119,11 +126,16 @@ class SimulationResult:
         Keys follow :data:`COUNTER_KEYS` order; counters a run did not
         produce (e.g. ``choked_sends`` without encrypted choking is
         still 0, but pre-instrumentation results lack the key entirely)
-        are omitted rather than invented.
+        are omitted rather than invented. Performance-instrumentation
+        keys (``perf.*``) follow, sorted by name.
         """
-        return {
+        out = {
             key: int(self.extra[key]) for key in COUNTER_KEYS if key in self.extra
         }
+        for key in sorted(self.extra):
+            if key.startswith(PERF_COUNTER_PREFIX):
+                out[key] = int(self.extra[key])
+        return out
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form, JSON-serializable (for reports and the CLI)."""

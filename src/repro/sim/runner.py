@@ -27,6 +27,7 @@ from repro.core.mbt import MobileBitTorrent, ProtocolConfig, ProtocolVariant, Sc
 from repro.core.node import NodeState
 from repro.faults import FaultInjector, FaultPlan
 from repro.net.medium import ContactBudget
+from repro.perf import PerfRecorder
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsCollector, SimulationResult
 from repro.traces.base import ContactTrace
@@ -123,6 +124,11 @@ class SimulationConfig:
     #: Safety valve: abort (SimulationError) if a run executes more
     #: than this many events. None = unbounded.
     max_events: Optional[int] = None
+    #: Collect wall-clock phase timers (``perf.time_us.*``) alongside
+    #: the always-on deterministic ``perf.*`` counters. Off by default:
+    #: timer values differ between runs, which would break the
+    #: result-equality invariants (serial vs parallel, resume).
+    profile: bool = False
     #: Master seed: node roles, catalog and queries all derive from it.
     seed: int = 0
 
@@ -233,6 +239,7 @@ class Simulation:
         self._injector = (
             None if config.faults.is_clean() else FaultInjector(config.faults, config.seed)
         )
+        self._perf = PerfRecorder(profile=config.profile)
         self._engine = MobileBitTorrent(
             self._states,
             self._metadata_server,
@@ -240,6 +247,7 @@ class Simulation:
             self._metrics,
             config.protocol_config(),
             faults=self._injector,
+            perf=self._perf,
         )
 
     def _pick_nodes(self, nodes: Sequence[NodeId], fraction: float) -> FrozenSet[NodeId]:
@@ -361,7 +369,22 @@ class Simulation:
         if self._injector is not None:
             for name, value in self._injector.counters.items():
                 counters[f"faults.{name}"] = float(value)
+        for name, value in self._perf_counters().items():
+            counters[name] = float(value)
         return counters
+
+    def _perf_counters(self) -> Dict[str, int]:
+        """Run-level ``perf.*`` instrumentation (engine + node caches)."""
+        out = dict(self._perf.as_counters())
+        states = list(self._states.values())
+        out["perf.wanted_cache_hits"] = sum(s.wanted_cache_hits for s in states)
+        out["perf.wanted_cache_misses"] = sum(s.wanted_cache_misses for s in states)
+        out["perf.query_cache_hits"] = sum(s.query_cache_hits for s in states)
+        out["perf.query_cache_misses"] = sum(s.query_cache_misses for s in states)
+        out["perf.token_index_queries"] = sum(
+            s.metadata.index_queries for s in states
+        )
+        return out
 
     def node_report(self) -> List[Dict[str, object]]:
         """Per-node operational summary after (or during) a run.

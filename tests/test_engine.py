@@ -36,11 +36,14 @@ class TestEventQueue:
         assert priorities == [0, 1, 2]
 
     def test_fifo_among_equal_time_and_priority(self):
+        # The heap stores plain tuples; push/pop return equal (not
+        # identical) Event handles for the same scheduled callback.
         queue = EventQueue()
         first = queue.push(1.0, lambda: None)
         second = queue.push(1.0, lambda: None)
-        assert queue.pop() is first
-        assert queue.pop() is second
+        assert queue.pop() == first
+        assert queue.pop() == second
+        assert first.sequence < second.sequence
 
     def test_peek_time_does_not_pop(self):
         queue = EventQueue()
