@@ -42,8 +42,11 @@ def test_parallel_sweep_matches_serial_and_scales(benchmark):
     serial_s = time.perf_counter() - t0
 
     t0 = time.perf_counter()
+    # mode="processes" pins the real pool: on a single-core box "auto"
+    # would fall back to inline and this bench would compare a run to
+    # itself instead of exercising cross-process determinism.
     parallel = benchmark.pedantic(
-        lambda: run_many(specs, jobs=JOBS), rounds=1, iterations=1
+        lambda: run_many(specs, jobs=JOBS, mode="processes"), rounds=1, iterations=1
     )
     parallel_s = time.perf_counter() - t0
 

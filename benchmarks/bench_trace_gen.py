@@ -1,0 +1,170 @@
+"""Trace-generation pipeline: spatial-hash speedup + disk-cache round trip.
+
+Two claims, both recorded into ``BENCH_core.json`` by
+``record_baseline.py``:
+
+* **Grid vs reference extraction** — the spatial-hash kernel
+  (:func:`repro.traces.mobility._extract_contacts`) must produce
+  bitwise-identical contacts to the all-pairs reference scan and, on a
+  community workload large enough that the O(n²) pair scan dominates,
+  cut extraction wall-clock by at least 3x. (At the default 40 nodes
+  per-tick constant costs — bucketing, generator overhead — cap the
+  win well below the asymptotics; that smaller configuration is
+  reported but not asserted.)
+* **Cold vs warm disk cache** — building a trace through
+  :func:`repro.exec.build_trace` with a cache directory set must be
+  strictly cheaper the second time (unpack vs simulate), with
+  bitwise-identical contacts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Tuple
+
+from repro.traces.mobility import (
+    CommunityConfig,
+    _community_walkers,
+    _extract_contacts,
+    _extract_contacts_reference,
+    _sample_positions,
+)
+from repro.types import DAY
+
+SPEEDUP_TARGET = 3.0
+
+#: Default model configuration — reported for context, not asserted.
+DEFAULT = CommunityConfig()
+
+#: Scaled community workload where the pair scan is the bottleneck:
+#: 3x the default node count, a larger area so the grid stays sparse,
+#: half a day so the whole bench finishes in seconds.
+SCALED = CommunityConfig(
+    num_nodes=120,
+    num_communities=8,
+    area_size=3000.0,
+    duration=0.5 * DAY,
+)
+
+
+def _records(contacts) -> List[Tuple[float, float, Tuple[int, ...]]]:
+    """Bit-exact comparable form (Contact equality ignores members)."""
+    return [(c.start, c.end, tuple(sorted(c.members))) for c in contacts]
+
+
+def _time_kernel(kernel, config: CommunityConfig, seed: int):
+    """Run one extraction kernel on freshly simulated walkers."""
+    rng = random.Random(seed ^ 0xC0FFEE)  # same stream as the generator
+    walkers = _community_walkers(config, rng)
+    t0 = time.perf_counter()
+    contacts = kernel(
+        _sample_positions(walkers, config.tick, config.duration),
+        config.radio_range,
+        config.tick,
+        config.num_nodes,
+    )
+    return contacts, time.perf_counter() - t0
+
+
+def extraction_timings(config: CommunityConfig, seed: int = 0) -> dict:
+    """Grid vs reference on ``config``; verifies bitwise identity."""
+    reference, reference_s = _time_kernel(
+        _extract_contacts_reference, config, seed
+    )
+    grid, grid_s = _time_kernel(_extract_contacts, config, seed)
+    assert _records(grid) == _records(reference), (
+        "grid kernel diverged from the all-pairs reference"
+    )
+    return {
+        "nodes": config.num_nodes,
+        "ticks": int(config.duration / config.tick),
+        "contacts": len(grid),
+        "reference_s": round(reference_s, 4),
+        "grid_s": round(grid_s, 4),
+        "speedup": round(reference_s / grid_s, 2) if grid_s > 0 else 0.0,
+    }
+
+
+def cache_timings(cache_dir, seed: int = 0) -> dict:
+    """Cold build vs warm disk load through the execution kernel."""
+    from repro.exec import (
+        TraceSpec,
+        build_trace,
+        set_trace_cache_dir,
+        trace_cache_clear,
+    )
+    from repro.traces import cache as trace_disk_cache
+    from repro.traces.mobility import generate_community_trace
+
+    spec = TraceSpec.of(generate_community_trace, SCALED, seed)
+    previous = set_trace_cache_dir(cache_dir)
+    try:
+        trace_cache_clear()
+        trace_disk_cache.reset_cache_counters()
+        t0 = time.perf_counter()
+        cold = build_trace(spec)  # miss everywhere: simulate + store
+        cold_s = time.perf_counter() - t0
+
+        trace_cache_clear()  # forget in-process, keep the disk artifact
+        t0 = time.perf_counter()
+        warm = build_trace(spec)  # served by unpacking the disk entry
+        warm_s = time.perf_counter() - t0
+        counters = trace_disk_cache.cache_counters()
+    finally:
+        set_trace_cache_dir(previous)
+
+    assert _records(cold) == _records(warm), "disk round-trip changed the trace"
+    assert counters["perf.trace.disk_writes"] == 1
+    assert counters["perf.trace.disk_hits"] == 1
+    return {
+        "contacts": len(cold),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 2) if warm_s > 0 else 0.0,
+    }
+
+
+def test_grid_extraction_matches_reference_and_scales(benchmark):
+    reference, reference_s = _time_kernel(
+        _extract_contacts_reference, SCALED, seed=0
+    )
+
+    grid_holder = {}
+
+    def run_grid():
+        grid_holder["contacts"], grid_holder["s"] = _time_kernel(
+            _extract_contacts, SCALED, seed=0
+        )
+        return grid_holder["contacts"]
+
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    grid_s = grid_holder["s"]
+
+    assert _records(grid) == _records(reference)
+
+    speedup = reference_s / grid_s if grid_s > 0 else float("inf")
+    small = extraction_timings(DEFAULT, seed=0)
+    print()
+    print(
+        f"scaled (n={SCALED.num_nodes}): reference {reference_s:.2f}s, "
+        f"grid {grid_s:.2f}s -> {speedup:.2f}x"
+    )
+    print(
+        f"default (n={DEFAULT.num_nodes}): reference {small['reference_s']:.2f}s, "
+        f"grid {small['grid_s']:.2f}s -> {small['speedup']:.2f}x"
+    )
+    assert speedup >= SPEEDUP_TARGET, (
+        f"expected >= {SPEEDUP_TARGET}x extraction speedup on the scaled "
+        f"community workload, measured {speedup:.2f}x"
+    )
+
+
+def test_disk_cache_cold_then_warm(tmp_path):
+    timings = cache_timings(tmp_path / "trace-cache", seed=0)
+    print()
+    print(
+        f"cache: cold {timings['cold_s']:.2f}s, warm {timings['warm_s']:.4f}s "
+        f"-> {timings['speedup']:.0f}x ({timings['contacts']} contacts)"
+    )
+    assert timings["warm_s"] < timings["cold_s"]

@@ -1,11 +1,12 @@
 """Record the repository's performance baseline into ``BENCH_core.json``.
 
-Runs the two core benchmark workloads — ``bench_runtime`` (simulator +
-wire-level runtime on the DieselNet and NUS fast traces) and
+Runs the core benchmark workloads — ``bench_runtime`` (simulator +
+wire-level runtime on the DieselNet and NUS fast traces),
 ``bench_parallel_sweep`` (one DieselNet sweep grid through
-:func:`repro.exec.run_many`) — and writes a JSON record of wall-clock
-times, simulator events/s and any ``perf.*`` instrumentation counters
-the engine exposes. The committed ``BENCH_core.json`` is the trajectory
+:func:`repro.exec.run_many`) and ``bench_trace_gen`` (grid-vs-reference
+contact extraction plus a cold/warm disk-cache round trip) — and writes
+a JSON record of wall-clock times, simulator events/s and any
+``perf.*`` instrumentation counters the engine exposes. The committed ``BENCH_core.json`` is the trajectory
 anchor every perf claim in this repository is measured against.
 
 Usage
@@ -106,23 +107,43 @@ def measure_parallel_sweep(jobs: int = 4) -> Dict[str, Any]:
     import os
 
     from bench_parallel_sweep import _grid_specs
-    from repro.exec import run_many
+    from repro.exec import resolve_execution_mode, run_many
 
     specs = _grid_specs()
     t0 = time.perf_counter()
     run_many(specs, jobs=1)
     serial_s = time.perf_counter() - t0
+    mode, effective_jobs = resolve_execution_mode(jobs)
     t0 = time.perf_counter()
     run_many(specs, jobs=jobs)
     parallel_s = time.perf_counter() - t0
     return {
         "runs": len(specs),
         "jobs": jobs,
+        # What "auto" actually chose: "inline" on single-core machines
+        # (no pool, no pickling), "processes" elsewhere. Explains a
+        # ~1.0x "speedup" honestly instead of recording pool overhead.
+        "mode": mode,
+        "effective_jobs": effective_jobs,
         "serial_s": round(serial_s, 4),
         "parallel_s": round(parallel_s, 4),
         "speedup": round(serial_s / parallel_s, 2) if parallel_s > 0 else 0.0,
         "cores": os.cpu_count() or 1,
     }
+
+
+def measure_trace_gen() -> Dict[str, Any]:
+    """bench_trace_gen: grid-vs-reference extraction + disk-cache round trip."""
+    import tempfile
+
+    from bench_trace_gen import DEFAULT, SCALED, cache_timings, extraction_timings
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        return {
+            "extraction_scaled": extraction_timings(SCALED),
+            "extraction_default": extraction_timings(DEFAULT),
+            "disk_cache": cache_timings(cache_dir),
+        }
 
 
 def measure(label: str, quick: bool = False) -> Dict[str, Any]:
@@ -135,6 +156,7 @@ def measure(label: str, quick: bool = False) -> Dict[str, Any]:
     }
     if not quick:
         record["bench_parallel_sweep"] = measure_parallel_sweep()
+        record["bench_trace_gen"] = measure_trace_gen()
     return record
 
 
@@ -159,7 +181,39 @@ def compare(path: str, threshold: float) -> int:
             f"{ratio:.2f}x of the recorded baseline "
             f"({eps:.1f} vs {ref_eps:.1f}; threshold {1.0 - threshold:.2f}x)"
         )
+    _compare_trace_gen(reference, threshold)
     return 0
+
+
+def _compare_trace_gen(reference: Dict[str, Any], threshold: float) -> None:
+    """Advisory trace-pipeline smoke: extraction speed + cache round trip.
+
+    The cold-then-warm cache invocation is the real gate here — its
+    internal bitwise-identity assertions prove the disk cache
+    round-trips on this machine; the timing comparison only warns.
+    """
+    import tempfile
+
+    from bench_trace_gen import SCALED, cache_timings, extraction_timings
+
+    fresh = extraction_timings(SCALED)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = cache_timings(cache_dir)
+    print(
+        f"trace-gen smoke: grid extraction {fresh['grid_s']:.2f}s "
+        f"({fresh['speedup']:.2f}x vs reference); disk cache cold "
+        f"{cache['cold_s']:.2f}s -> warm {cache['warm_s']:.4f}s"
+    )
+    recorded = reference.get("bench_trace_gen", {}).get("extraction_scaled")
+    if not recorded:
+        return
+    ref_grid_s = float(recorded["grid_s"])
+    if ref_grid_s > 0 and fresh["grid_s"] > ref_grid_s * (1.0 + threshold):
+        print(
+            f"::warning title=trace-gen regression::grid extraction took "
+            f"{fresh['grid_s']:.2f}s vs recorded {ref_grid_s:.2f}s "
+            f"(> {1.0 + threshold:.2f}x)"
+        )
 
 
 def main(argv=None) -> int:

@@ -18,6 +18,7 @@ Examples
     python -m repro sweep fig3a --jobs 4              # 4 worker processes
     python -m repro sweep --all --jobs 4 --format csv
     python -m repro figures fig3a --scale fast
+    python -m repro --trace-cache ~/.cache/repro sweep fig3a --jobs 4
     python -m repro trace --kind nus --seed 7 --out campus.trace
     python -m repro stats campus.trace
     python -m repro capacity --max-n 16
@@ -26,11 +27,13 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis.capacity import capacity_table
 from repro.core.mbt import ProtocolVariant
+from repro.exec import TRACE_CACHE_ENV, TraceSpec, build_trace
 from repro.experiments import FIGURES
 from repro.faults import FaultPlan
 from repro.experiments.workloads import dieselnet_trace, nus_trace
@@ -54,16 +57,24 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _build_trace(kind: str, seed: int, scale: str = "fast") -> ContactTrace:
+def _trace_spec(kind: str, seed: int, scale: str = "fast") -> TraceSpec:
     if kind == "dieselnet":
-        return dieselnet_trace(scale, seed)  # type: ignore[arg-type]
+        return TraceSpec.of(dieselnet_trace, scale, seed)
     if kind == "nus":
-        return nus_trace(scale, seed)  # type: ignore[arg-type]
+        return TraceSpec.of(nus_trace, scale, seed)
     if kind == "rwp":
-        return generate_random_waypoint_trace(RandomWaypointConfig(), seed)
+        return TraceSpec.of(
+            generate_random_waypoint_trace, RandomWaypointConfig(), seed
+        )
     if kind == "community":
-        return generate_community_trace(CommunityConfig(), seed)
+        return TraceSpec.of(generate_community_trace, CommunityConfig(), seed)
     raise ValueError(f"unknown trace kind {kind!r}")
+
+
+def _build_trace(kind: str, seed: int, scale: str = "fast") -> ContactTrace:
+    # Routed through the kernel so --trace-cache / REPRO_TRACE_CACHE
+    # serves CLI builds from the same disk artifacts as sweep workers.
+    return build_trace(_trace_spec(kind, seed, scale))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -116,11 +127,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{result.file_delivery_ratio:>8.3f}{result.queries_generated:>9}"
         )
     if args.counters or args.profile:
+        from repro.exec import trace_perf_counters
         from repro.sim.metrics import format_counters
 
         for name, result in results.items():
             print(f"\n-- {name} instrumentation counters --")
             print(format_counters(result.counters))
+        print("\n-- trace pipeline counters (process-local) --")
+        print(format_counters(trace_perf_counters()))
     return 0
 
 
@@ -195,6 +209,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cooperative file sharing in hybrid DTNs (ICDCS'11 reproduction)",
+    )
+    parser.add_argument(
+        "--trace-cache",
+        metavar="DIR",
+        default=None,
+        help="persist built traces in DIR and reuse them across runs and "
+             f"worker processes (same as setting {TRACE_CACHE_ENV})",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -292,6 +313,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.trace_cache:
+        # Exported (not just set in-process) so sweep worker processes
+        # inherit the cache directory and share the build artifacts.
+        os.environ[TRACE_CACHE_ENV] = args.trace_cache
     return args.handler(args)
 
 

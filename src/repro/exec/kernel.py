@@ -49,11 +49,29 @@ Trace caching
 -------------
 Building a trace can rival the simulation itself in cost, and a sweep
 reuses one trace across many (x, protocol) cells. ``execute`` therefore
-caches built traces in a small per-process LRU table keyed by the
-*full* trace spec (builder path + every argument). Each worker process
-builds any distinct trace at most once while it stays hot; literal
-traces bypass the cache (they are already built and travel inside the
-pickled spec).
+caches built traces in two layers:
+
+* a small **per-process LRU table** keyed by the *full* trace spec
+  (builder path + every argument) — each worker builds any distinct
+  trace at most once while it stays hot;
+* an optional **persistent disk cache** (:mod:`repro.traces.cache`)
+  layered underneath, keyed by :func:`trace_spec_fingerprint`, so all
+  sweep workers — and all future invocations — share a single build.
+  Enable it with :func:`set_trace_cache_dir`, the
+  ``REPRO_TRACE_CACHE`` environment variable (inherited by worker
+  processes) or the CLI ``--trace-cache DIR`` flag.
+
+Literal traces bypass both layers (they are already built and travel
+inside the pickled spec).
+
+Execution modes
+---------------
+``run_many(..., mode="auto")`` (the default) only spins up a process
+pool when it can actually help: with ``jobs <= 1`` or on a single-CPU
+machine it executes inline — no pool, no pickling, no fork overhead.
+``mode="processes"`` forces the pool (crash/timeout isolation is worth
+the overhead even on one CPU); ``mode="inline"`` forces serial
+execution. :func:`resolve_execution_mode` exposes the decision.
 """
 
 from __future__ import annotations
@@ -61,6 +79,7 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import os
 import time
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, CancelledError, ProcessPoolExecutor
@@ -70,6 +89,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import Simulation, SimulationConfig
+from repro.traces import cache as trace_disk_cache
 from repro.traces.base import ContactTrace
 
 __all__ = [
@@ -77,15 +97,28 @@ __all__ = [
     "RunManyError",
     "RunResult",
     "RunSpec",
+    "TRACE_CACHE_ENV",
     "TraceSpec",
     "as_trace_spec",
+    "build_trace",
     "derive_seed",
     "execute",
     "resolve_callable",
+    "resolve_execution_mode",
     "run_many",
+    "set_trace_cache_dir",
     "spec_fingerprint",
+    "trace_cache_clear",
+    "trace_cache_dir",
     "trace_cache_info",
+    "trace_perf_counters",
+    "trace_spec_fingerprint",
 ]
+
+#: Environment variable naming the persistent trace-cache directory.
+#: Read per build (not at import), so it propagates to worker processes
+#: and tests can flip it at runtime.
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
 
 
 def resolve_callable(fn: Callable[..., Any]) -> Optional[str]:
@@ -301,6 +334,17 @@ def spec_fingerprint(spec: RunSpec) -> str:
     return hashlib.sha256(repr(identity).encode()).hexdigest()
 
 
+def trace_spec_fingerprint(spec: TraceSpec) -> str:
+    """Stable hex identity of a trace spec — the disk-cache key.
+
+    Covers the builder's dotted path and every argument (or a literal
+    trace's full contact content), so any change to the recipe is a
+    different cache entry. Stable across processes and Python
+    invocations.
+    """
+    return hashlib.sha256(repr(_trace_identity(spec)).encode()).hexdigest()
+
+
 class _LRUCache:
     """Tiny LRU map with hit/miss counters (per-process trace cache)."""
 
@@ -345,6 +389,37 @@ class _LRUCache:
 _TRACE_CACHE_LIMIT = 16
 _TRACE_CACHE = _LRUCache(_TRACE_CACHE_LIMIT)
 
+#: Builds performed by this process (disk + LRU both missed).
+_TRACE_BUILDS = {"count": 0}
+
+_DIR_UNSET = object()
+#: Programmatic override of the cache directory; when left unset, the
+#: ``REPRO_TRACE_CACHE`` environment variable decides.
+_TRACE_CACHE_DIR_OVERRIDE: Any = _DIR_UNSET
+
+
+def set_trace_cache_dir(path: Optional[str]) -> Optional[str]:
+    """Set the persistent trace-cache directory for this process.
+
+    ``None`` clears the override, falling back to ``REPRO_TRACE_CACHE``
+    (or no disk layer when the variable is unset too). Returns the
+    previous override so callers can restore it. Note: worker processes
+    inherit the *environment variable*, not this override — parallel
+    sweeps should export ``REPRO_TRACE_CACHE`` instead (the CLI flag
+    does exactly that).
+    """
+    global _TRACE_CACHE_DIR_OVERRIDE
+    previous = _TRACE_CACHE_DIR_OVERRIDE
+    _TRACE_CACHE_DIR_OVERRIDE = _DIR_UNSET if path is None else path
+    return None if previous is _DIR_UNSET else previous
+
+
+def trace_cache_dir() -> Optional[str]:
+    """The effective persistent trace-cache directory, or ``None``."""
+    if _TRACE_CACHE_DIR_OVERRIDE is not _DIR_UNSET:
+        return _TRACE_CACHE_DIR_OVERRIDE
+    return os.environ.get(TRACE_CACHE_ENV) or None
+
 
 def _trace_for(spec: TraceSpec) -> ContactTrace:
     key = spec.cache_key
@@ -353,9 +428,24 @@ def _trace_for(spec: TraceSpec) -> ContactTrace:
     cached = _TRACE_CACHE.get(key)
     if cached is not None:
         return cached
+    cache_dir = trace_cache_dir()
+    fingerprint = trace_spec_fingerprint(spec) if cache_dir is not None else None
+    if cache_dir is not None:
+        loaded = trace_disk_cache.load(cache_dir, fingerprint)
+        if loaded is not None:
+            _TRACE_CACHE.put(key, loaded)
+            return loaded
     trace = spec.build()
+    _TRACE_BUILDS["count"] += 1
     _TRACE_CACHE.put(key, trace)
+    if cache_dir is not None:
+        trace_disk_cache.store(cache_dir, fingerprint, trace)
     return trace
+
+
+def build_trace(spec: "TraceSpec | ContactTrace") -> ContactTrace:
+    """Materialize a trace through both cache layers (LRU, then disk)."""
+    return _trace_for(as_trace_spec(spec))
 
 
 def trace_cache_info() -> Dict[str, int]:
@@ -365,6 +455,33 @@ def trace_cache_info() -> Dict[str, int]:
         "hits": _TRACE_CACHE.hits,
         "misses": _TRACE_CACHE.misses,
     }
+
+
+def trace_cache_clear() -> None:
+    """Drop this process's in-memory LRU (cold-cache tests and benches).
+
+    Leaves the disk layer untouched: the next :func:`build_trace` for a
+    known spec is served from disk, not rebuilt.
+    """
+    _TRACE_CACHE.clear()
+
+
+def trace_perf_counters() -> Dict[str, int]:
+    """Every trace-pipeline tally in the flat ``perf.trace.*`` namespace.
+
+    Combines this process's LRU layer, its build count and the disk
+    layer (:func:`repro.traces.cache.cache_counters`). Process-local
+    and wall-clock-dependent, so deliberately kept out of
+    :class:`~repro.sim.metrics.SimulationResult` counters.
+    """
+    out = {
+        "perf.trace.lru_size": len(_TRACE_CACHE),
+        "perf.trace.lru_hits": _TRACE_CACHE.hits,
+        "perf.trace.lru_misses": _TRACE_CACHE.misses,
+        "perf.trace.builds": _TRACE_BUILDS["count"],
+    }
+    out.update(trace_disk_cache.cache_counters())
+    return out
 
 
 def execute(spec: RunSpec) -> RunResult:
@@ -402,6 +519,32 @@ def _load_checkpoint(path: str) -> Dict[str, List[Dict[str, Any]]]:
     return completed
 
 
+def resolve_execution_mode(
+    jobs: Optional[int], mode: str = "auto"
+) -> Tuple[str, int]:
+    """Decide how :func:`run_many` will execute: ``(mode, jobs)``.
+
+    Returns ``("inline", 1)`` or ``("processes", n)``. Under ``"auto"``
+    a pool is only used when ``jobs > 1`` *and* the machine has more
+    than one CPU — on a single core, pool + pickling overhead beats the
+    win, so the sweep runs inline instead. ``"processes"`` forces the
+    pool (its crash/timeout isolation can be worth the overhead
+    anywhere); ``"inline"`` forces serial execution.
+    """
+    if mode not in ("auto", "inline", "processes"):
+        raise ValueError(
+            f'mode must be "auto", "inline" or "processes", got {mode!r}'
+        )
+    jobs = 1 if jobs is None else jobs
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or mode == "inline":
+        return "inline", 1
+    if mode == "auto" and (os.cpu_count() or 1) <= 1:
+        return "inline", 1
+    return "processes", jobs
+
+
 def run_many(
     specs: Sequence[RunSpec],
     jobs: Optional[int] = None,
@@ -411,14 +554,18 @@ def run_many(
     backoff: float = 0.1,
     on_error: str = "fail_fast",
     checkpoint: Optional[str] = None,
+    mode: str = "auto",
 ) -> List[Union[RunResult, RunError]]:
     """Execute every spec, preserving input order.
 
     ``jobs`` <= 1 (the default) runs serially in-process; larger values
     submit each spec as its own future to a
-    :class:`ProcessPoolExecutor` with up to ``jobs`` workers. Results
-    are identical either way — specs are self-contained and
-    :func:`execute` consults no shared mutable state.
+    :class:`ProcessPoolExecutor` with up to ``jobs`` workers — unless
+    ``mode`` (see :func:`resolve_execution_mode`) decides the pool
+    cannot pay for itself, in which case the sweep runs inline with no
+    pickling or fork overhead. Results are identical either way — specs
+    are self-contained and :func:`execute` consults no shared mutable
+    state.
 
     Fault handling (parallel mode):
 
@@ -444,10 +591,7 @@ def run_many(
     apply).
     """
     specs = list(specs)
-    if jobs is None:
-        jobs = 1
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    __, jobs = resolve_execution_mode(jobs, mode)
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     if backoff < 0:

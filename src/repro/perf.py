@@ -14,6 +14,14 @@ Two kinds of signals, with different determinism contracts:
   runs and would break result-equality invariants. They surface as
   integer microseconds under ``perf.time_us.<phase>``.
 
+A third family lives outside the recorder entirely: the **trace
+pipeline counters** under ``perf.trace.*`` (LRU hits/misses/builds from
+:func:`repro.exec.trace_perf_counters`, disk-cache outcomes from
+:func:`repro.traces.cache.cache_counters`). They are process-local —
+cache hits differ between a serial run and its sweep workers — so they
+are never folded into :class:`~repro.sim.metrics.SimulationResult` and
+only surface through the kernel/CLI diagnostics paths.
+
 Everything lands in the ``perf.*`` counter namespace, which downstream
 comparisons (golden results, bench baselines) treat as advisory and
 exclude from bitwise-identity checks.

@@ -1,0 +1,205 @@
+"""Persistent compiled-trace cache: build once, reuse across processes.
+
+Building a synthetic trace (mobility simulation + contact extraction)
+can rival the protocol simulation itself in cost, and a sweep rebuilds
+the same trace in every worker process whenever the in-process LRU goes
+cold. This module turns built traces into durable on-disk artifacts so
+one build serves every process that ever asks for the same spec:
+
+* **Keyed store** — entries are addressed by an opaque hex ``key`` (the
+  execution kernel uses
+  :func:`repro.exec.trace_spec_fingerprint`, which covers the builder
+  path and every argument, so a changed spec is a different entry).
+* **Compact packed binary format** — a fixed little-endian header
+  (magic, format version, payload length, SHA-256 checksum prefix)
+  followed by the trace name and ``(start, end, members)`` records with
+  full ``float64`` precision. Floats round-trip bit-exactly.
+* **Atomic writes** — entries are written to a unique temp file in the
+  cache directory and published with :func:`os.replace`, so concurrent
+  writers (sweep workers racing on a cold cache) each produce a valid
+  file and the last one wins; readers never observe a torn entry.
+* **Corruption → silent rebuild** — a bad magic, an unknown format
+  version, a truncated payload or a checksum mismatch makes
+  :func:`load` return ``None`` (and remove the bad file, best-effort);
+  the caller rebuilds and overwrites. The cache is an accelerator, not
+  a source of truth.
+
+Every outcome is tallied in the process-local ``perf.trace.*`` counter
+namespace (:func:`cache_counters`), which the execution kernel merges
+into :func:`repro.exec.trace_perf_counters` and the CLI prints under
+``--counters``/``--profile``. The counters are process-local wall-clock
+style diagnostics and are deliberately **not** folded into
+:class:`~repro.sim.metrics.SimulationResult` — cache hits differ
+between processes, and result counters must stay bitwise-identical
+between serial and parallel runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.traces.base import Contact, ContactTrace
+from repro.types import NodeId
+
+__all__ = [
+    "CACHE_VERSION",
+    "cache_counters",
+    "entry_path",
+    "load",
+    "pack_trace",
+    "reset_cache_counters",
+    "store",
+    "unpack_trace",
+]
+
+#: Bump when the packed layout changes; readers reject other versions.
+CACHE_VERSION = 1
+
+_MAGIC = b"RTRC"
+#: magic | version | payload length | SHA-256 prefix of the payload.
+_HEADER = struct.Struct("<4sIQ16s")
+_NAME_HEADER = struct.Struct("<HI")  # name length | contact count
+_RECORD = struct.Struct("<ddI")  # start | end | member count
+_MEMBER = struct.Struct("<q")  # node id (signed, 64-bit)
+
+_COUNTER_NAMES = (
+    "disk_hits",
+    "disk_misses",
+    "disk_corrupt",
+    "disk_version_skew",
+    "disk_writes",
+    "disk_write_errors",
+)
+_counters: Dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
+
+
+def cache_counters() -> Dict[str, int]:
+    """Process-local tallies in the flat ``perf.trace.*`` namespace."""
+    return {f"perf.trace.{name}": value for name, value in _counters.items()}
+
+
+def reset_cache_counters() -> None:
+    """Zero the tallies (tests and benchmark isolation)."""
+    for name in _COUNTER_NAMES:
+        _counters[name] = 0
+
+
+def pack_trace(trace: ContactTrace) -> bytes:
+    """Serialize ``trace`` into the versioned packed binary format."""
+    name_bytes = trace.name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        name_bytes = name_bytes[:0xFFFF]
+    parts = [_NAME_HEADER.pack(len(name_bytes), len(trace)), name_bytes]
+    record = _RECORD.pack
+    member = _MEMBER.pack
+    for contact in trace:
+        members = sorted(contact.members)
+        parts.append(record(contact.start, contact.end, len(members)))
+        parts.extend(member(node) for node in members)
+    payload = b"".join(parts)
+    digest = hashlib.sha256(payload).digest()[:16]
+    return _HEADER.pack(_MAGIC, CACHE_VERSION, len(payload), digest) + payload
+
+
+def unpack_trace(blob: bytes) -> ContactTrace:
+    """Parse a packed trace; raises ``ValueError`` on any defect."""
+    if len(blob) < _HEADER.size:
+        raise ValueError("truncated header")
+    magic, version, length, digest = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise ValueError(f"bad magic {magic!r}")
+    if version != CACHE_VERSION:
+        raise _VersionSkew(f"format version {version} != {CACHE_VERSION}")
+    payload = blob[_HEADER.size:]
+    if len(payload) != length:
+        raise ValueError(f"payload length {len(payload)} != recorded {length}")
+    if hashlib.sha256(payload).digest()[:16] != digest:
+        raise ValueError("checksum mismatch")
+    name_len, count = _NAME_HEADER.unpack_from(payload)
+    offset = _NAME_HEADER.size
+    floor = offset + name_len + count * (_RECORD.size + 2 * _MEMBER.size)
+    if floor > len(payload):
+        raise ValueError(f"payload too short for {count} contacts")
+    name = payload[offset:offset + name_len].decode("utf-8")
+    offset += name_len
+    contacts = []
+    for __ in range(count):
+        start, end, num_members = _RECORD.unpack_from(payload, offset)
+        offset += _RECORD.size
+        members = frozenset(
+            NodeId(_MEMBER.unpack_from(payload, offset + k * _MEMBER.size)[0])
+            for k in range(num_members)
+        )
+        offset += num_members * _MEMBER.size
+        contacts.append(Contact(start, end, members))
+    if offset != len(payload):
+        raise ValueError(f"{len(payload) - offset} trailing bytes")
+    return ContactTrace(contacts, name=name)
+
+
+def entry_path(cache_dir: Union[str, Path], key: str) -> Path:
+    """Path of the cache entry for ``key`` under ``cache_dir``."""
+    return Path(cache_dir) / f"{key}.trace"
+
+
+def load(cache_dir: Union[str, Path], key: str) -> Optional[ContactTrace]:
+    """Return the cached trace for ``key``, or ``None`` to rebuild.
+
+    Missing entries count as misses; undecodable ones (torn writes,
+    bit rot, format evolution) are counted, removed best-effort, and
+    reported as ``None`` so the caller silently rebuilds.
+    """
+    path = entry_path(cache_dir, key)
+    try:
+        blob = path.read_bytes()
+    except OSError:
+        _counters["disk_misses"] += 1
+        return None
+    try:
+        trace = unpack_trace(blob)
+    except _VersionSkew:
+        _counters["disk_version_skew"] += 1
+        _discard(path)
+        return None
+    except (ValueError, struct.error, UnicodeDecodeError):
+        _counters["disk_corrupt"] += 1
+        _discard(path)
+        return None
+    _counters["disk_hits"] += 1
+    return trace
+
+
+def store(cache_dir: Union[str, Path], key: str, trace: ContactTrace) -> bool:
+    """Persist ``trace`` under ``key``; returns whether the write stuck.
+
+    Best-effort by design: an unwritable cache directory degrades to
+    building every time (counted), never to a failed run.
+    """
+    directory = Path(cache_dir)
+    final = entry_path(directory, key)
+    tmp = directory / f".{key}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(pack_trace(trace))
+        os.replace(tmp, final)
+    except OSError:
+        _counters["disk_write_errors"] += 1
+        _discard(tmp)
+        return False
+    _counters["disk_writes"] += 1
+    return True
+
+
+class _VersionSkew(ValueError):
+    """A structurally sound entry written by another format version."""
+
+
+def _discard(path: Path) -> None:
+    try:
+        os.remove(path)
+    except OSError:
+        pass

@@ -35,7 +35,9 @@ def _write_lines(trace: ContactTrace, handle: TextIO) -> None:
     handle.write(f"# nodes: {trace.num_nodes} contacts: {len(trace)}\n")
     for contact in trace:
         members = " ".join(str(m) for m in sorted(contact.members))
-        handle.write(f"{contact.start:.3f} {contact.end:.3f} {members}\n")
+        # repr() emits the shortest decimal that round-trips the exact
+        # float64, so read_trace(write_trace(t)) preserves every bit.
+        handle.write(f"{contact.start!r} {contact.end!r} {members}\n")
 
 
 def read_trace(source: Union[PathLike, TextIO], name: str = "trace") -> ContactTrace:

@@ -24,6 +24,18 @@ Contact extraction merges consecutive in-range samples per pair into
 emerge naturally as overlapping pair contacts; the MBT engine treats
 each contact independently, matching the paper's non-overlapping-clique
 assumption for pair-wise traces.
+
+Extraction kernel
+-----------------
+Proximity testing is the hot path: the naive formulation checks every
+node pair every tick — O(n² · ticks). :func:`_extract_contacts` instead
+hashes positions into a uniform grid with cell edge ≈ ``radio_range``
+and tests only same-cell and adjacent-cell pairs, which is near-linear
+for the sparse deployments DTN scenarios use. The all-pairs scan is
+kept as :func:`_extract_contacts_reference`; both kernels perform the
+*identical* float comparisons in the identical canonical order, so
+their :class:`Contact` lists are bitwise-equal (the property suite in
+``tests/test_traces_mobility.py`` enforces this).
 """
 
 from __future__ import annotations
@@ -31,7 +43,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.traces.base import Contact, ContactTrace
 from repro.types import DAY, NodeId
@@ -106,7 +118,30 @@ Point = Tuple[float, float]
 
 
 class _Walker:
-    """One node's piecewise-linear trajectory with pauses."""
+    """One node's piecewise-linear trajectory with pauses.
+
+    State advances strictly forward: each leg's displacement and travel
+    time are computed once when the leg begins (not re-derived from the
+    leg start on every position query), so a tick-by-tick sweep costs a
+    couple of multiplications per sample. The cached values feed the
+    exact same arithmetic the per-query formulation used, so sampled
+    positions are bitwise-unchanged.
+    """
+
+    __slots__ = (
+        "_position",
+        "_pick_waypoint",
+        "_pick_speed",
+        "_pick_pause",
+        "_target",
+        "_pause_until",
+        "_leg_start_time",
+        "_leg_start_pos",
+        "_leg_dx",
+        "_leg_dy",
+        "_travel_time",
+        "_arrival",
+    )
 
     def __init__(
         self,
@@ -119,82 +154,94 @@ class _Walker:
         self._pick_waypoint = pick_waypoint
         self._pick_speed = pick_speed
         self._pick_pause = pick_pause
-        self._target: Point = start
-        self._speed = 1.0
         self._pause_until = 0.0
-        self._leg_start_time = 0.0
-        self._leg_start_pos = start
         self._begin_leg(0.0)
 
     def _begin_leg(self, now: float) -> None:
-        self._leg_start_pos = self._position
+        pos = self._position
+        self._leg_start_pos = pos
         self._leg_start_time = now
-        self._target = self._pick_waypoint(self._position)
-        self._speed = self._pick_speed()
+        target = self._pick_waypoint(pos)
+        self._target = target
+        speed = self._pick_speed()
+        dx = target[0] - pos[0]
+        dy = target[1] - pos[1]
+        distance = math.hypot(dx, dy)
+        travel_time = distance / speed if distance else 0.0
+        self._leg_dx = dx
+        self._leg_dy = dy
+        self._travel_time = travel_time
+        self._arrival = now + travel_time
 
     def position_at(self, now: float) -> Point:
         """Advance internal state to ``now`` and return the position."""
         while True:
             if now < self._pause_until:
                 return self._position
-            dx = self._target[0] - self._leg_start_pos[0]
-            dy = self._target[1] - self._leg_start_pos[1]
-            distance = math.hypot(dx, dy)
-            travel_time = distance / self._speed if distance else 0.0
-            arrival = self._leg_start_time + travel_time
-            if now < arrival:
-                fraction = (now - self._leg_start_time) / travel_time
+            if now < self._arrival:
+                fraction = (now - self._leg_start_time) / self._travel_time
+                start = self._leg_start_pos
                 self._position = (
-                    self._leg_start_pos[0] + fraction * dx,
-                    self._leg_start_pos[1] + fraction * dy,
+                    start[0] + fraction * self._leg_dx,
+                    start[1] + fraction * self._leg_dy,
                 )
                 return self._position
             # Arrived: pause, then start the next leg.
             self._position = self._target
-            self._pause_until = arrival + self._pick_pause()
+            self._pause_until = self._arrival + self._pick_pause()
             if now < self._pause_until:
                 return self._position
-            self._leg_start_time = self._pause_until
-            self._leg_start_pos = self._position
-            self._target = self._pick_waypoint(self._position)
-            self._speed = self._pick_speed()
-            self._leg_start_time = self._pause_until
+            self._begin_leg(self._pause_until)
 
 
-def _extract_contacts(
-    positions: Iterator[Tuple[float, Sequence[Point]]],
-    radio_range: float,
+def _sample_positions(
+    walkers: Sequence[_Walker], tick: float, duration: float
+) -> Iterator[Tuple[float, Sequence[Point]]]:
+    """Yield ``(time, positions)`` for every tick in ``[0, duration]``."""
+    steps = int(duration // tick)
+    for step in range(steps + 1):
+        now = step * tick
+        yield now, [w.position_at(now) for w in walkers]
+
+
+def _close_contacts(
+    open_since: Dict[Tuple[int, int], float],
+    in_range: Sequence[Tuple[int, int]],
+    now: float,
     tick: float,
-    num_nodes: int,
-) -> List[Contact]:
-    """Merge consecutive in-range samples into contacts per pair."""
-    range_sq = radio_range * radio_range
-    open_since: Dict[Tuple[int, int], float] = {}
-    contacts: List[Contact] = []
-    last_time = 0.0
-    for now, points in positions:
-        last_time = now
-        in_range = set()
-        for i in range(num_nodes):
-            xi, yi = points[i]
-            for j in range(i + 1, num_nodes):
-                xj, yj = points[j]
-                dx = xi - xj
-                dy = yi - yj
-                if dx * dx + dy * dy <= range_sq:
-                    in_range.add((i, j))
-        for pair in in_range:
-            open_since.setdefault(pair, now)
-        for pair in list(open_since):
-            if pair not in in_range:
-                start = open_since.pop(pair)
-                contacts.append(
-                    Contact(
-                        start,
-                        max(now, start + tick),
-                        frozenset((NodeId(pair[0]), NodeId(pair[1]))),
-                    )
-                )
+    contacts: List[Contact],
+) -> None:
+    """Open new pair intervals and close the ones that left range.
+
+    ``in_range`` must arrive sorted from both extraction kernels.
+    Contacts closing on the same tick are appended in ``(start, pair)``
+    order — the canonical ordering the bitwise-equality guarantee
+    between the kernels relies on.
+    """
+    setdefault = open_since.setdefault
+    for pair in in_range:
+        setdefault(pair, now)
+    closed = open_since.keys() - in_range if len(open_since) > len(in_range) else ()
+    if not closed:
+        return
+    for pair in sorted(closed, key=lambda p: (open_since[p], p)):
+        start = open_since.pop(pair)
+        contacts.append(
+            Contact(
+                start,
+                max(now, start + tick),
+                frozenset((NodeId(pair[0]), NodeId(pair[1]))),
+            )
+        )
+
+
+def _flush_contacts(
+    open_since: Dict[Tuple[int, int], float],
+    last_time: float,
+    tick: float,
+    contacts: List[Contact],
+) -> None:
+    """Close every still-open pair interval at the end of the trace."""
     for pair, start in open_since.items():
         contacts.append(
             Contact(
@@ -203,15 +250,117 @@ def _extract_contacts(
                 frozenset((NodeId(pair[0]), NodeId(pair[1]))),
             )
         )
+
+
+def _extract_contacts_reference(
+    positions: Iterator[Tuple[float, Sequence[Point]]],
+    radio_range: float,
+    tick: float,
+    num_nodes: int,
+) -> List[Contact]:
+    """All-pairs proximity scan — the O(n² · ticks) reference kernel.
+
+    Kept as the correctness oracle for :func:`_extract_contacts`: both
+    kernels must produce bitwise-identical contact lists.
+    """
+    range_sq = radio_range * radio_range
+    open_since: Dict[Tuple[int, int], float] = {}
+    contacts: List[Contact] = []
+    last_time = 0.0
+    for now, points in positions:
+        last_time = now
+        in_range = []
+        for i in range(num_nodes):
+            xi, yi = points[i]
+            for j in range(i + 1, num_nodes):
+                xj, yj = points[j]
+                dx = xi - xj
+                dy = yi - yj
+                if dx * dx + dy * dy <= range_sq:
+                    in_range.append((i, j))
+        _close_contacts(open_since, in_range, now, tick, contacts)
+    _flush_contacts(open_since, last_time, tick, contacts)
     return contacts
 
 
-def generate_random_waypoint_trace(
-    config: RandomWaypointConfig | None = None, seed: int = 0
-) -> ContactTrace:
-    """Simulate random-waypoint mobility and extract the contact trace."""
-    config = config or RandomWaypointConfig()
-    rng = random.Random(seed ^ 0xB0B11E)
+#: Cell keys are packed into one int, ``gx * _CELL_STRIDE + gy``; the
+#: stride keeps the y index in its own field so neighbor lookups are
+#: plain integer additions (Python ints never overflow).
+_CELL_STRIDE = 1 << 32
+
+
+def _extract_contacts(
+    positions: Iterator[Tuple[float, Sequence[Point]]],
+    radio_range: float,
+    tick: float,
+    num_nodes: int,
+) -> List[Contact]:
+    """Spatial-hash proximity scan: near-linear in nodes for sparse areas.
+
+    Positions are bucketed per tick into a uniform grid whose cell edge
+    is slightly above ``radio_range``; only same-cell and adjacent-cell
+    pairs are distance-tested. The slack on the cell edge means float
+    rounding in the bucketing arithmetic can never push an in-range pair
+    more than one cell apart, and the distance test itself is the same
+    ``dx*dx + dy*dy <= range_sq`` comparison the reference kernel
+    performs (subtraction order at most flips the sign of ``dx``/``dy``,
+    which squares away exactly), so the output is bitwise-identical to
+    :func:`_extract_contacts_reference`.
+    """
+    range_sq = radio_range * radio_range
+    # Degenerate ranges (0 or negative) only match coincident points,
+    # which always share a bucket whatever the positive cell size.
+    inv_cell = 1.0 / (radio_range * 1.0001) if radio_range > 0 else 1.0
+    stride = _CELL_STRIDE
+    floor = math.floor
+    open_since: Dict[Tuple[int, int], float] = {}
+    contacts: List[Contact] = []
+    last_time = 0.0
+    for now, points in positions:
+        last_time = now
+        buckets: Dict[int, List[Tuple[float, float, int]]] = {}
+        buckets_get = buckets.get
+        for index in range(num_nodes):
+            x, y = points[index]
+            key = floor(x * inv_cell) * stride + floor(y * inv_cell)
+            bucket = buckets_get(key)
+            if bucket is None:
+                buckets[key] = [(x, y, index)]
+            else:
+                bucket.append((x, y, index))
+        in_range: List[Tuple[int, int]] = []
+        append = in_range.append
+        for key, members in buckets.items():
+            count = len(members)
+            for a in range(count - 1):
+                xi, yi, i = members[a]
+                for b in range(a + 1, count):
+                    xj, yj, j = members[b]
+                    dx = xi - xj
+                    dy = yi - yj
+                    if dx * dx + dy * dy <= range_sq:
+                        # members is index-sorted, so i < j already.
+                        append((i, j))
+            # The forward half-neighborhood (+x), (-x,+y), (+y), (+x,+y):
+            # every adjacent cell pair is visited from exactly one side.
+            for delta in (stride, 1 - stride, 1, stride + 1):
+                other = buckets_get(key + delta)
+                if not other:
+                    continue
+                for xi, yi, i in members:
+                    for xj, yj, j in other:
+                        dx = xi - xj
+                        dy = yi - yj
+                        if dx * dx + dy * dy <= range_sq:
+                            append((i, j) if i < j else (j, i))
+        in_range.sort()
+        _close_contacts(open_since, in_range, now, tick, contacts)
+    _flush_contacts(open_since, last_time, tick, contacts)
+    return contacts
+
+
+def _rwp_walkers(config: RandomWaypointConfig, rng: random.Random) -> List[_Walker]:
+    """Walker population of the random-waypoint model (consumes ``rng``)."""
 
     def pick_waypoint(__: Point) -> Point:
         return (rng.uniform(0, config.area_size), rng.uniform(0, config.area_size))
@@ -222,30 +371,30 @@ def generate_random_waypoint_trace(
     def pick_pause() -> float:
         return rng.uniform(config.min_pause, config.max_pause)
 
-    walkers = [
+    return [
         _Walker(pick_waypoint((0.0, 0.0)), pick_waypoint, pick_speed, pick_pause)
         for __ in range(config.num_nodes)
     ]
 
-    def positions() -> Iterator[Tuple[float, Sequence[Point]]]:
-        steps = int(config.duration // config.tick)
-        for step in range(steps + 1):
-            now = step * config.tick
-            yield now, [w.position_at(now) for w in walkers]
 
+def generate_random_waypoint_trace(
+    config: RandomWaypointConfig | None = None, seed: int = 0
+) -> ContactTrace:
+    """Simulate random-waypoint mobility and extract the contact trace."""
+    config = config or RandomWaypointConfig()
+    rng = random.Random(seed ^ 0xB0B11E)
+    walkers = _rwp_walkers(config, rng)
     contacts = _extract_contacts(
-        positions(), config.radio_range, config.tick, config.num_nodes
+        _sample_positions(walkers, config.tick, config.duration),
+        config.radio_range,
+        config.tick,
+        config.num_nodes,
     )
     return ContactTrace(contacts, name=f"rwp(seed={seed})")
 
 
-def generate_community_trace(
-    config: CommunityConfig | None = None, seed: int = 0
-) -> ContactTrace:
-    """Simulate community mobility and extract the contact trace."""
-    config = config or CommunityConfig()
-    rng = random.Random(seed ^ 0xC0FFEE)
-
+def _community_walkers(config: CommunityConfig, rng: random.Random) -> List[_Walker]:
+    """Walker population of the community model (consumes ``rng``)."""
     centers: List[Point] = [
         (
             rng.uniform(config.community_radius, config.area_size - config.community_radius),
@@ -280,7 +429,7 @@ def generate_community_trace(
     def pick_pause() -> float:
         return rng.uniform(config.min_pause, config.max_pause)
 
-    walkers = [
+    return [
         _Walker(
             point_in_disc(centers[homes[i]]),
             pick_waypoint_for(homes[i]),
@@ -290,14 +439,19 @@ def generate_community_trace(
         for i in range(config.num_nodes)
     ]
 
-    def positions() -> Iterator[Tuple[float, Sequence[Point]]]:
-        steps = int(config.duration // config.tick)
-        for step in range(steps + 1):
-            now = step * config.tick
-            yield now, [w.position_at(now) for w in walkers]
 
+def generate_community_trace(
+    config: CommunityConfig | None = None, seed: int = 0
+) -> ContactTrace:
+    """Simulate community mobility and extract the contact trace."""
+    config = config or CommunityConfig()
+    rng = random.Random(seed ^ 0xC0FFEE)
+    walkers = _community_walkers(config, rng)
     contacts = _extract_contacts(
-        positions(), config.radio_range, config.tick, config.num_nodes
+        _sample_positions(walkers, config.tick, config.duration),
+        config.radio_range,
+        config.tick,
+        config.num_nodes,
     )
     return ContactTrace(contacts, name=f"community(seed={seed})")
 

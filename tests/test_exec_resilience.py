@@ -201,13 +201,15 @@ class TestDeterministicErrors:
         assert "deterministic builder failure" in results[1].error
 
     def test_parallel_collect_never_retries_simulation_errors(self):
-        results = run_many(self._specs(), jobs=2, on_error="collect", backoff=0.0)
+        results = run_many(
+            self._specs(), jobs=2, on_error="collect", backoff=0.0, mode="processes"
+        )
         assert isinstance(results[1], RunError)
         assert results[1].attempts == 1
 
     def test_parallel_fail_fast_raises_original(self):
         with pytest.raises(RuntimeError, match="deterministic builder failure"):
-            run_many(self._specs(), jobs=2, backoff=0.0)
+            run_many(self._specs(), jobs=2, backoff=0.0, mode="processes")
 
     def test_run_error_labels(self):
         spec = replace(
@@ -232,7 +234,7 @@ class TestWorkerCrashes:
             ),
             micro_spec(1),
         ]
-        results = run_many(specs, jobs=2, retries=2, backoff=0.01)
+        results = run_many(specs, jobs=2, retries=2, backoff=0.01, mode="processes")
         assert os.path.exists(flag)  # the crash really happened
         assert all(isinstance(run, RunResult) for run in results)
         # The retried spec produced the same result a clean run would:
@@ -245,7 +247,8 @@ class TestWorkerCrashes:
             RunSpec(trace=TraceSpec.of(crash_always_builder, 0), config=_tiny_config())
         ]
         [error] = run_many(
-            specs, jobs=2, retries=1, backoff=0.01, on_error="collect"
+            specs, jobs=2, retries=1, backoff=0.01, on_error="collect",
+            mode="processes",
         )
         assert isinstance(error, RunError)
         assert error.attempts == 2  # initial try + one retry
@@ -256,7 +259,7 @@ class TestWorkerCrashes:
             RunSpec(trace=TraceSpec.of(crash_always_builder, 0), config=_tiny_config())
         ]
         with pytest.raises(RunManyError) as excinfo:
-            run_many(specs, jobs=2, retries=0, backoff=0.0)
+            run_many(specs, jobs=2, retries=0, backoff=0.0, mode="processes")
         assert excinfo.value.errors[0].attempts == 1
 
     def test_timeout_is_a_terminal_failure(self):
@@ -267,7 +270,8 @@ class TestWorkerCrashes:
         ]
         start = time.monotonic()
         [error] = run_many(
-            specs, jobs=2, timeout=0.5, retries=0, backoff=0.0, on_error="collect"
+            specs, jobs=2, timeout=0.5, retries=0, backoff=0.0, on_error="collect",
+            mode="processes",
         )
         assert isinstance(error, RunError)
         assert "timed out" in error.error
@@ -315,7 +319,8 @@ class TestCheckpoint:
         # First pass: the middle spec fails deterministically and, under
         # collect, lands as a RunError — which is never checkpointed.
         first = run_many(
-            specs, jobs=2, retries=0, backoff=0.0, on_error="collect", checkpoint=path
+            specs, jobs=2, retries=0, backoff=0.0, on_error="collect",
+            checkpoint=path, mode="processes",
         )
         assert isinstance(first[1], RunError)
         assert isinstance(first[0], RunResult) and isinstance(first[2], RunResult)
@@ -378,7 +383,7 @@ class TestFaultedParallelEquality:
             for seed in range(4)
         ]
         serial = run_many(specs, jobs=1)
-        parallel = run_many(specs, jobs=2)
+        parallel = run_many(specs, jobs=2, mode="processes")
         assert _dicts(parallel) == _dicts(serial)
         for run in serial:
             assert run.result.extra.get("faults.metadata_losses", 0) > 0

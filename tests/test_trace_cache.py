@@ -1,0 +1,266 @@
+"""Persistent trace cache: packed format, failure modes, kernel layering."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import struct
+
+import pytest
+
+from repro.exec import (
+    TRACE_CACHE_ENV,
+    TraceSpec,
+    build_trace,
+    resolve_execution_mode,
+    set_trace_cache_dir,
+    trace_cache_clear,
+    trace_perf_counters,
+    trace_spec_fingerprint,
+)
+from repro.traces import cache
+from repro.traces.base import Contact, ContactTrace
+from repro.traces.mobility import CommunityConfig, generate_community_trace
+from repro.types import HOUR, NodeId
+
+
+def _records(trace):
+    return [(c.start, c.end, tuple(sorted(c.members))) for c in trace]
+
+
+def _sample_trace(name="sample"):
+    return ContactTrace(
+        [
+            Contact(0.5, 100.25, frozenset({NodeId(0), NodeId(3)})),
+            Contact(0.5, 7200.0, frozenset({NodeId(1), NodeId(2), NodeId(5)})),
+            # Values that don't survive %.3f-style truncation:
+            Contact(1.0 / 3.0, 2.0 / 3.0 + 9000.0, frozenset({NodeId(7), NodeId(9)})),
+        ],
+        name=name,
+    )
+
+
+FAST = CommunityConfig(
+    num_nodes=12, num_communities=2, area_size=800.0, community_radius=120.0,
+    radio_range=60.0, tick=30.0, duration=2 * HOUR,
+)
+
+
+@pytest.fixture
+def counters():
+    cache.reset_cache_counters()
+    yield
+    cache.reset_cache_counters()
+
+
+@pytest.fixture
+def cache_dir(tmp_path, counters):
+    """A kernel wired to a fresh disk cache (and unwired afterwards)."""
+    directory = tmp_path / "trace-cache"
+    previous = set_trace_cache_dir(directory)
+    trace_cache_clear()
+    yield directory
+    set_trace_cache_dir(previous)
+    trace_cache_clear()
+
+
+class TestPackedFormat:
+    def test_round_trip_is_bit_exact(self):
+        trace = _sample_trace()
+        restored = cache.unpack_trace(cache.pack_trace(trace))
+        assert restored.name == trace.name
+        assert _records(restored) == _records(trace)
+
+    def test_round_trip_real_trace(self):
+        trace = generate_community_trace(FAST, seed=5)
+        restored = cache.unpack_trace(cache.pack_trace(trace))
+        assert _records(restored) == _records(trace)
+
+    def test_rejects_bad_magic(self):
+        blob = cache.pack_trace(_sample_trace())
+        with pytest.raises(ValueError, match="magic"):
+            cache.unpack_trace(b"XXXX" + blob[4:])
+
+    def test_rejects_truncation(self):
+        blob = cache.pack_trace(_sample_trace())
+        with pytest.raises(ValueError):
+            cache.unpack_trace(blob[: len(blob) // 2])
+
+    def test_rejects_flipped_payload_bit(self):
+        blob = bytearray(cache.pack_trace(_sample_trace()))
+        blob[-1] ^= 0x01
+        with pytest.raises(ValueError, match="checksum"):
+            cache.unpack_trace(bytes(blob))
+
+    def test_rejects_version_skew(self):
+        blob = cache.pack_trace(_sample_trace())
+        header = struct.pack(
+            "<4sI", b"RTRC", cache.CACHE_VERSION + 1
+        ) + blob[8:cache._HEADER.size]
+        with pytest.raises(ValueError, match="version"):
+            cache.unpack_trace(header + blob[cache._HEADER.size:])
+
+    def test_rejects_lying_contact_count(self):
+        # A corrupted count field must fail fast, not loop for billions
+        # of phantom records.
+        blob = bytearray(cache.pack_trace(_sample_trace()))
+        offset = cache._HEADER.size + 2  # the u32 count after the name length
+        blob[offset:offset + 4] = struct.pack("<I", 0xFFFFFFFF)
+        payload = bytes(blob[cache._HEADER.size:])
+        import hashlib
+
+        digest = hashlib.sha256(payload).digest()[:16]
+        blob[:cache._HEADER.size] = cache._HEADER.pack(
+            b"RTRC", cache.CACHE_VERSION, len(payload), digest
+        )
+        with pytest.raises(ValueError, match="too short"):
+            cache.unpack_trace(bytes(blob))
+
+
+class TestDiskStore:
+    def test_store_then_load(self, tmp_path, counters):
+        trace = _sample_trace()
+        assert cache.store(tmp_path, "k1", trace)
+        loaded = cache.load(tmp_path, "k1")
+        assert loaded is not None
+        assert _records(loaded) == _records(trace)
+        tallies = cache.cache_counters()
+        assert tallies["perf.trace.disk_writes"] == 1
+        assert tallies["perf.trace.disk_hits"] == 1
+
+    def test_missing_entry_is_a_miss(self, tmp_path, counters):
+        assert cache.load(tmp_path, "absent") is None
+        assert cache.cache_counters()["perf.trace.disk_misses"] == 1
+
+    def test_corrupt_entry_discarded_and_counted(self, tmp_path, counters):
+        cache.store(tmp_path, "k", _sample_trace())
+        path = cache.entry_path(tmp_path, "k")
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert cache.load(tmp_path, "k") is None
+        assert cache.cache_counters()["perf.trace.disk_corrupt"] == 1
+        assert not path.exists()  # bad file removed so it can be rebuilt
+
+    def test_version_skew_discarded_and_counted(self, tmp_path, counters):
+        cache.store(tmp_path, "k", _sample_trace())
+        path = cache.entry_path(tmp_path, "k")
+        raw = path.read_bytes()
+        path.write_bytes(
+            struct.pack("<4sI", b"RTRC", cache.CACHE_VERSION + 7) + raw[8:]
+        )
+        assert cache.load(tmp_path, "k") is None
+        assert cache.cache_counters()["perf.trace.disk_version_skew"] == 1
+        assert not path.exists()
+
+    def test_unwritable_directory_degrades_gracefully(self, tmp_path, counters):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        assert cache.store(blocked, "k", _sample_trace()) is False
+        assert cache.cache_counters()["perf.trace.disk_write_errors"] == 1
+
+    def test_concurrent_writers_leave_a_valid_entry(self, tmp_path, counters):
+        trace = generate_community_trace(FAST, seed=2)
+        procs = [
+            multiprocessing.Process(
+                target=_store_worker, args=(str(tmp_path), "shared", FAST, 2)
+            )
+            for __ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        # Whatever interleaving happened, the published entry is whole.
+        loaded = cache.load(tmp_path, "shared")
+        assert loaded is not None
+        assert _records(loaded) == _records(trace)
+        leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert leftovers == []
+
+
+def _store_worker(directory, key, config, seed):
+    trace = generate_community_trace(config, seed=seed)
+    if not cache.store(directory, key, trace):
+        raise SystemExit(1)
+
+
+class TestKernelLayering:
+    def test_cold_build_writes_warm_load_skips_build(self, cache_dir):
+        spec = TraceSpec.of(generate_community_trace, FAST, seed=4)
+        cold = build_trace(spec)
+        after_cold = trace_perf_counters()
+        assert after_cold["perf.trace.disk_writes"] == 1
+
+        trace_cache_clear()  # drop the LRU; the disk entry must serve
+        warm = build_trace(spec)
+        after_warm = trace_perf_counters()
+        assert after_warm["perf.trace.disk_hits"] == 1
+        assert after_warm["perf.trace.builds"] == after_cold["perf.trace.builds"]
+        assert _records(cold) == _records(warm)
+
+    def test_corrupted_entry_silently_rebuilds(self, cache_dir):
+        spec = TraceSpec.of(generate_community_trace, FAST, seed=4)
+        first = build_trace(spec)
+        key = trace_spec_fingerprint(spec)
+        path = cache.entry_path(cache_dir, key)
+        raw = bytearray(path.read_bytes())
+        raw[40] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+        trace_cache_clear()
+        rebuilt = build_trace(spec)
+        tallies = trace_perf_counters()
+        assert tallies["perf.trace.disk_corrupt"] == 1
+        assert tallies["perf.trace.disk_writes"] == 2  # re-published
+        assert _records(rebuilt) == _records(first)
+
+    def test_distinct_specs_get_distinct_entries(self, cache_dir):
+        spec_a = TraceSpec.of(generate_community_trace, FAST, seed=1)
+        spec_b = TraceSpec.of(generate_community_trace, FAST, seed=2)
+        assert trace_spec_fingerprint(spec_a) != trace_spec_fingerprint(spec_b)
+        build_trace(spec_a)
+        build_trace(spec_b)
+        assert len(list(cache_dir.glob("*.trace"))) == 2
+
+    def test_env_var_enables_the_disk_layer(self, tmp_path, counters, monkeypatch):
+        directory = tmp_path / "from-env"
+        monkeypatch.setenv(TRACE_CACHE_ENV, str(directory))
+        trace_cache_clear()
+        build_trace(TraceSpec.of(generate_community_trace, FAST, seed=9))
+        assert len(list(directory.glob("*.trace"))) == 1
+        trace_cache_clear()
+
+    def test_no_dir_means_no_disk_traffic(self, counters, monkeypatch):
+        monkeypatch.delenv(TRACE_CACHE_ENV, raising=False)
+        trace_cache_clear()
+        build_trace(TraceSpec.of(generate_community_trace, FAST, seed=9))
+        tallies = trace_perf_counters()
+        assert tallies["perf.trace.disk_hits"] == 0
+        assert tallies["perf.trace.disk_misses"] == 0
+        assert tallies["perf.trace.disk_writes"] == 0
+        trace_cache_clear()
+
+
+class TestExecutionMode:
+    def test_jobs_one_is_inline(self):
+        assert resolve_execution_mode(1) == ("inline", 1)
+
+    def test_explicit_processes_keeps_the_pool(self):
+        assert resolve_execution_mode(4, "processes") == ("processes", 4)
+
+    def test_explicit_inline_collapses_jobs(self):
+        assert resolve_execution_mode(8, "inline") == ("inline", 1)
+
+    def test_auto_follows_core_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_execution_mode(4) == ("inline", 1)
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_execution_mode(4) == ("processes", 4)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            resolve_execution_mode(0)
+        with pytest.raises(ValueError):
+            resolve_execution_mode(2, "threads")

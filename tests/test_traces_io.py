@@ -25,6 +25,47 @@ class TestRoundTrip:
             (c.start, c.end, c.members) for c in trace
         ]
 
+    def test_round_trip_preserves_full_float_precision(self):
+        # Times that die under fixed-point formatting: sub-millisecond
+        # fractions and values needing all 17 significant digits.
+        from repro.traces.base import Contact, ContactTrace
+        from repro.types import NodeId
+
+        trace = ContactTrace(
+            [
+                Contact(1.0 / 3.0, 2.0 / 3.0, frozenset({NodeId(0), NodeId(1)})),
+                Contact(0.0001234, 86400.00056789, frozenset({NodeId(2), NodeId(3)})),
+                Contact(1e-12, 1.0000000000000002, frozenset({NodeId(4), NodeId(5)})),
+            ],
+            name="precise",
+        )
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        buffer.seek(0)
+        loaded = read_trace(buffer)
+        # Bitwise float equality, not approx: repr() round-trips float64.
+        assert [(c.start, c.end, c.members) for c in loaded] == [
+            (c.start, c.end, c.members) for c in trace
+        ]
+
+    def test_mobility_trace_round_trips_bit_exactly(self, tmp_path):
+        from repro.traces.mobility import CommunityConfig, generate_community_trace
+        from repro.types import HOUR
+
+        trace = generate_community_trace(
+            CommunityConfig(
+                num_nodes=10, num_communities=2, area_size=600.0,
+                community_radius=100.0, radio_range=60.0, duration=2 * HOUR,
+            ),
+            seed=11,
+        )
+        path = tmp_path / "community.trace"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert [(c.start, c.end, c.members) for c in loaded] == [
+            (c.start, c.end, c.members) for c in trace
+        ]
+
     def test_round_trip_through_file(self, tmp_path):
         trace = generate_dieselnet_trace(DieselNetConfig(num_buses=8, num_days=2), seed=0)
         path = tmp_path / "diesel.trace"

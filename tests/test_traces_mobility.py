@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import math
+import random
 from collections import Counter
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.traces.mobility import (
     CommunityConfig,
@@ -124,3 +127,117 @@ class TestCommunity:
         for contact in trace:
             communities = {homes[m] for m in contact.members}
             assert len(communities) == 1
+
+
+class TestGridEquivalence:
+    """The spatial-hash kernel must be bitwise-identical to the all-pairs scan.
+
+    "Bitwise" is literal: same Contact ordering, same float start/end
+    values, same member sets. The hypothesis suites below drive both
+    kernels over randomized synthetic position streams (including the
+    degenerate radio ranges 0 and larger than the whole area) and over
+    real walker populations from randomized model configurations.
+    """
+
+    @staticmethod
+    def _records(contacts):
+        # Contact equality ignores members (compare=False), so compare
+        # the full value explicitly.
+        return [(c.start, c.end, tuple(sorted(c.members))) for c in contacts]
+
+    @staticmethod
+    def _run_both(positions, radio_range, tick, num_nodes):
+        from repro.traces.mobility import (
+            _extract_contacts,
+            _extract_contacts_reference,
+        )
+
+        grid = _extract_contacts(iter(positions), radio_range, tick, num_nodes)
+        reference = _extract_contacts_reference(
+            iter(positions), radio_range, tick, num_nodes
+        )
+        return grid, reference
+
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=14),
+        num_ticks=st.integers(min_value=1, max_value=12),
+        radio_range=st.one_of(
+            st.just(0.0),
+            st.floats(min_value=1e-3, max_value=5_000.0),
+            st.just(1e6),  # covers every bounded coordinate below
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference_on_random_positions(
+        self, num_nodes, num_ticks, radio_range, data
+    ):
+        tick = 30.0
+        coord = st.floats(
+            min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False
+        )
+        positions = [
+            (
+                t * tick,
+                [
+                    (data.draw(coord), data.draw(coord))
+                    for __ in range(num_nodes)
+                ],
+            )
+            for t in range(num_ticks)
+        ]
+        grid, reference = self._run_both(positions, radio_range, tick, num_nodes)
+        assert self._records(grid) == self._records(reference)
+
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=12),
+        area_size=st.floats(min_value=100.0, max_value=3_000.0),
+        radio_range=st.floats(min_value=1.0, max_value=10_000.0),
+        ticks=st.integers(min_value=2, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_on_rwp_walkers(
+        self, num_nodes, area_size, radio_range, ticks, seed
+    ):
+        from repro.traces.mobility import _rwp_walkers, _sample_positions
+
+        config = RandomWaypointConfig(
+            num_nodes=num_nodes,
+            area_size=area_size,
+            radio_range=radio_range,  # may exceed area_size: all-in-range
+            tick=60.0,
+            duration=ticks * 60.0,
+        )
+        walkers = _rwp_walkers(config, random.Random(seed ^ 0xB0B11E))
+        positions = list(
+            _sample_positions(walkers, config.tick, config.duration)
+        )
+        grid, reference = self._run_both(
+            positions, config.radio_range, config.tick, config.num_nodes
+        )
+        assert self._records(grid) == self._records(reference)
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_matches_reference_on_community_model(self, seed):
+        from repro.traces.mobility import (
+            _community_walkers,
+            _sample_positions,
+        )
+
+        config = FAST_COMMUNITY
+        walkers = _community_walkers(config, random.Random(seed ^ 0xC0FFEE))
+        positions = list(
+            _sample_positions(walkers, config.tick, config.duration)
+        )
+        grid, reference = self._run_both(
+            positions, config.radio_range, config.tick, config.num_nodes
+        )
+        assert self._records(grid) == self._records(reference)
+
+    def test_generators_use_grid_kernel_unchanged_output(self):
+        # The public generators must still produce the exact traces the
+        # all-pairs implementation did (determinism contract per seed).
+        trace = generate_community_trace(FAST_COMMUNITY, seed=3)
+        again = generate_community_trace(FAST_COMMUNITY, seed=3)
+        assert self._records(trace) == self._records(again)
