@@ -11,8 +11,8 @@ substitution table in DESIGN.md).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
 
 from functools import cached_property
 

@@ -8,6 +8,7 @@ Commands
 ``trace``      generate a trace, print its statistics, optionally save it
 ``stats``      statistics of a saved trace file
 ``capacity``   the §V broadcast-vs-pair-wise capacity table
+``lint``       detlint: AST determinism & invariant linter
 
 Examples
 --------
@@ -15,6 +16,9 @@ Examples
 
     python -m repro run --trace dieselnet --access 0.3 --files-per-day 40
     python -m repro run --trace nus --counters        # instrumentation dump
+    python -m repro run --detcheck --protocol mbt     # sanitized double-run
+    python -m repro lint src/repro --format github    # CI line annotations
+    python -m repro lint --list-rules
     python -m repro sweep fig3a --jobs 4              # 4 worker processes
     python -m repro sweep --all --jobs 4 --format csv
     python -m repro figures fig3a --scale fast
@@ -29,7 +33,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.capacity import capacity_table
 from repro.core.mbt import ProtocolVariant
@@ -78,9 +82,14 @@ def _build_trace(kind: str, seed: int, scale: str = "fast") -> ContactTrace:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.detlint import sanitizer
+
+    detcheck = args.detcheck or sanitizer.detcheck_enabled()
     trace = _build_trace(args.trace, args.seed, args.scale)
     if not args.json:
         print(f"trace: {trace.stats().describe()}")
+        if detcheck:
+            print("detcheck: sanitized double-run (fingerprint cross-check on)")
     config = SimulationConfig(
         internet_access_fraction=args.access,
         files_per_day=args.files_per_day,
@@ -106,13 +115,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.protocol == "all"
         else [ProtocolVariant(args.protocol)]
     )
+    def run_one(cfg: SimulationConfig):
+        if detcheck:
+            return sanitizer.checked_run(trace, cfg)
+        return Simulation(trace, cfg).run()
+
     if args.json:
         import json
 
         payload = {
-            variant.value: Simulation(trace, config.with_variant(variant))
-            .run()
-            .to_dict()
+            variant.value: run_one(config.with_variant(variant)).to_dict()
             for variant in variants
         }
         print(json.dumps(payload, indent=2))
@@ -120,7 +132,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"{'protocol':>8}{'metadata':>10}{'file':>8}{'queries':>9}")
     results = {}
     for variant in variants:
-        result = Simulation(trace, config.with_variant(variant)).run()
+        result = run_one(config.with_variant(variant))
         results[variant.value] = result
         print(
             f"{variant.value:>8}{result.metadata_delivery_ratio:>10.3f}"
@@ -251,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--profile", action="store_true",
                      help="enable wall-clock phase timers (perf.time_us.* "
                           "counters; implies --counters)")
+    run.add_argument("--detcheck", action="store_true",
+                     help="runtime determinism sanitizer: pin PYTHONHASHSEED,"
+                          " guard the global RNG per event, and cross-check "
+                          "result fingerprints across two inline runs (same "
+                          "as REPRO_DETCHECK=1)")
     run.set_defaults(handler=_cmd_run)
 
     figures = sub.add_parser("figures", help="regenerate paper figure panels")
@@ -292,6 +309,23 @@ def build_parser() -> argparse.ArgumentParser:
     capacity.add_argument("--max-n", type=int, default=16)
     capacity.set_defaults(handler=_cmd_capacity)
 
+    lint = sub.add_parser(
+        "lint",
+        help="detlint: AST determinism & invariant linter (DET001-DET005)",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: src/repro)")
+    lint.add_argument("--format", choices=("text", "github", "json"),
+                      default="text",
+                      help="finding output format (github = PR annotations)")
+    lint.add_argument("--no-scope", action="store_true",
+                      help="apply every rule everywhere, ignoring path scopes")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule reference table and exit")
+    lint.add_argument("--quiet", action="store_true",
+                      help="suppress the summary line")
+    lint.set_defaults(handler=_cmd_lint)
+
     validate = sub.add_parser(
         "validate", help="run the paper-claims validation checklist"
     )
@@ -300,6 +334,21 @@ def build_parser() -> argparse.ArgumentParser:
     validate.set_defaults(handler=_cmd_validate)
 
     return parser
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Delegate to the detlint driver (kept import-light until used)."""
+    from repro.detlint.runner import main as detlint_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.no_scope:
+        argv.append("--no-scope")
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.quiet:
+        argv.append("--quiet")
+    return detlint_main(argv, prog="repro lint")
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:

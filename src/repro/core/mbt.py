@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.catalog.files import IntegrityError, piece_payload
 from repro.catalog.generator import DailyBatch
@@ -277,8 +277,8 @@ class MobileBitTorrent:
         """Drop expired records everywhere (servers and nodes)."""
         self._metadata_server.expire(now)
         self._file_server.expire(now)
-        for state in self._states.values():
-            state.expire(now)
+        for node in sorted(self._states):
+            self._states[node].expire(now)
 
     # ------------------------------------------------------------------ internet
 

@@ -16,7 +16,7 @@ A node runs a file-discovery process and a file-download process
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.catalog.files import IntegrityError, PieceStore
@@ -338,7 +338,7 @@ class NodeState:
         callers may extend it.
         """
         version, cached_now, cached = self._own_live_cache
-        if version == self._query_version and cached_now == now:
+        if version == self._query_version and cached_now == now:  # detlint: ignore[DET004] cache identity: exact instant match intended
             self.query_cache_hits += 1
             return list(cached)
         self.query_cache_misses += 1
@@ -360,11 +360,14 @@ class NodeState:
     def foreign_queries(self, now: float) -> List[Query]:
         """Live stored queries of frequent contacts (memoized)."""
         version, cached_now, cached = self._foreign_live_cache
-        if version == self._query_version and cached_now == now:
+        if version == self._query_version and cached_now == now:  # detlint: ignore[DET004] cache identity: exact instant match intended
             self.query_cache_hits += 1
             return list(cached)
         self.query_cache_misses += 1
         live: List[Query] = []
+        # detlint: ignore[DET002] -- insertion-ordered dict: peers are added
+        # in deterministic contact-processing order, and reordering here
+        # would change the advertised query order (and thus the results).
         for queries in self._foreign_queries.values():
             live.extend(q for q in queries if q.is_live(now))
         self._foreign_live_cache = (self._query_version, now, live)
@@ -391,7 +394,7 @@ class NodeState:
     def own_query_tokens(self, now: float) -> Tuple[FrozenSet[str], ...]:
         """Token sets of the node's own live queries (memoized)."""
         version, cached_now, cached = self._own_tokens_cache
-        if version == self._query_version and cached_now == now:
+        if version == self._query_version and cached_now == now:  # detlint: ignore[DET004] cache identity: exact instant match intended
             return cached
         tokens = tuple(q.tokens for q in self.own_queries(now))
         self._own_tokens_cache = (self._query_version, now, tokens)
@@ -400,7 +403,7 @@ class NodeState:
     def foreign_query_tokens(self, now: float) -> Tuple[FrozenSet[str], ...]:
         """Token sets carried for frequent contacts (memoized)."""
         version, cached_now, cached = self._foreign_tokens_cache
-        if version == self._query_version and cached_now == now:
+        if version == self._query_version and cached_now == now:  # detlint: ignore[DET004] cache identity: exact instant match intended
             return cached
         tokens = tuple(q.tokens for q in self.foreign_queries(now))
         self._foreign_tokens_cache = (self._query_version, now, tokens)
@@ -437,7 +440,7 @@ class NodeState:
         full-store scan.
         """
         version, cached_now, cached = self._wanted_cache
-        if version == self._version and cached_now == now:
+        if version == self._version and cached_now == now:  # detlint: ignore[DET004] cache identity: exact instant match intended
             self.wanted_cache_hits += 1
             return cached
         self.wanted_cache_misses += 1

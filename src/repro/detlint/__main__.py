@@ -1,0 +1,12 @@
+"""``python -m repro.detlint`` — standalone linter entry point.
+
+Identical to ``python -m repro lint`` but importable without the
+simulation stack (useful for pre-commit hooks and editors).
+"""
+
+import sys
+
+from repro.detlint.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main(prog="python -m repro.detlint"))

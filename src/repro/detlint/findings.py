@@ -1,0 +1,74 @@
+"""Finding records and the output renderers of ``repro lint``.
+
+A :class:`Finding` is one rule violation at one source location. The
+renderers turn a finding list into the three supported formats:
+
+* ``text`` — ``path:line:col: RULE message`` with an indented fix-it
+  hint, the human-facing default;
+* ``github`` — GitHub Actions workflow commands
+  (``::error file=...``), which the CI job uses to annotate the
+  offending PR lines in place;
+* ``json`` — one object per finding, for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Sequence
+
+#: Pseudo-rule reported for files the linter cannot parse at all.
+PARSE_ERROR_RULE = "DET000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: location, rule, message and fix-it hint."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    fixit: str = ""
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """Human-readable listing, one finding per line plus fix-it hints."""
+    lines: List[str] = []
+    for f in findings:
+        lines.append(f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}")
+        if f.fixit:
+            lines.append(f"    fix: {f.fixit}")
+    return "\n".join(lines)
+
+
+def _escape_github(text: str) -> str:
+    """Escape a workflow-command message payload (docs.github.com)."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def format_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions ``::error`` annotations, one per finding."""
+    lines = []
+    for f in findings:
+        message = f.message if not f.fixit else f"{f.message} Fix: {f.fixit}"
+        lines.append(
+            f"::error file={f.path},line={f.line},col={f.col},"
+            f"title={f.rule}::{_escape_github(message)}"
+        )
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """JSON array of finding objects (stable key order)."""
+    return json.dumps([asdict(f) for f in findings], indent=2, sort_keys=True)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "github": format_github,
+    "json": format_json,
+}

@@ -1,0 +1,72 @@
+"""PYTHONHASHSEED bookkeeping shared by the kernel and the sanitizer.
+
+Deliberately dependency-free (stdlib ``os`` only): the simulation
+runner records the pinned seed into every result's counters, the
+execution kernel exports it to spawned pool workers, and the runtime
+sanitizer (:mod:`repro.detlint.sanitizer`) asserts on it — none of
+which may drag the AST machinery (or each other) into their import
+graphs.
+
+The contract
+------------
+Simulation *results* are hash-seed independent (PR 3 sorted every
+iteration whose order could leak the seed), but the determinism story
+is easier to audit when the seed is pinned anyway: a pinned seed makes
+any future ordering regression reproduce identically across processes
+instead of flickering. So the kernel pins ``PYTHONHASHSEED`` in the
+environment before spawning workers when the caller left it unset, and
+every :class:`~repro.sim.metrics.SimulationResult` records the value it
+ran under as the ``detcheck.pythonhashseed`` counter (``-1`` when the
+interpreter was launched with hash randomization left floating or set
+to ``random``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment variable controlling CPython hash randomization.
+HASH_SEED_ENV = "PYTHONHASHSEED"
+
+#: Seed exported when the caller left ``PYTHONHASHSEED`` unset. Zero
+#: disables hash randomization entirely in child interpreters.
+DEFAULT_HASH_SEED = "0"
+
+#: Counter value recorded when the seed is unpinned (unset or
+#: ``random``) — distinguishable from every valid seed (all >= 0).
+UNPINNED = -1
+
+
+def raw_hash_seed() -> Optional[str]:
+    """The ``PYTHONHASHSEED`` environment value, or ``None`` if unset."""
+    value = os.environ.get(HASH_SEED_ENV)
+    return value if value else None
+
+
+def hash_seed_value() -> int:
+    """The pinned hash seed as an int, or :data:`UNPINNED` (-1).
+
+    ``PYTHONHASHSEED=random`` counts as unpinned: it forces a fresh
+    salt per interpreter, which is exactly what pinning exists to
+    prevent.
+    """
+    value = raw_hash_seed()
+    if value is None or not value.isdigit():
+        return UNPINNED
+    return int(value)
+
+
+def ensure_hash_seed(default: str = DEFAULT_HASH_SEED) -> str:
+    """Export ``PYTHONHASHSEED`` (to ``default``) when unset.
+
+    Exporting cannot re-seed the *current* interpreter — CPython reads
+    the variable at startup — but every child process spawned after
+    this call (pool workers, subprocesses) inherits the pinned value.
+    Returns the effective value.
+    """
+    value = raw_hash_seed()
+    if value is None:
+        os.environ[HASH_SEED_ENV] = default
+        return default
+    return value

@@ -1,0 +1,83 @@
+"""``# detlint: ignore[...]`` suppression-comment parsing.
+
+A finding is suppressed when its line carries an ignore comment, or
+when a *standalone* ignore comment (nothing but whitespace and the
+comment) precedes it with only further comment-only lines in between —
+the escape hatch for lines already at the line-length budget, which
+also lets the justification span a comment block.
+
+Grammar::
+
+    # detlint: ignore              suppress every rule on the line
+    # detlint: ignore[DET002]      suppress one rule
+    # detlint: ignore[DET002, DET004]   suppress several
+
+Trailing prose after the bracket is encouraged (the justification) and
+ignored by the parser.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Optional
+
+#: ``frozenset()`` sentinel meaning "every rule" (bare ``ignore``).
+ALL_RULES: FrozenSet[str] = frozenset()
+
+_IGNORE_RE = re.compile(
+    r"#\s*detlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+_BARE_COMMENT_RE = re.compile(r"^\s*#")
+
+
+class SuppressionMap:
+    """Per-file map from line number to the rule IDs suppressed there."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: Dict[int, FrozenSet[str]] = {}
+        self._standalone: Dict[int, FrozenSet[str]] = {}
+        self.matched = 0  # suppressions that actually hid a finding
+        pending: Optional[FrozenSet[str]] = None
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            rules = _parse_ignore(line)
+            if rules is not None:
+                self._by_line[lineno] = rules
+            if _BARE_COMMENT_RE.match(line):
+                # A comment-only ignore line covers the next code line,
+                # carrying across any further comment-only lines (the
+                # justification block).
+                if rules is not None:
+                    pending = rules
+            elif pending is not None:
+                self._standalone[lineno] = pending
+                pending = None
+        self.total = len(self._by_line)
+
+    def suppresses(self, lineno: int, rule_id: str) -> bool:
+        """Whether a finding of ``rule_id`` at ``lineno`` is ignored."""
+        for rules in (
+            self._by_line.get(lineno),
+            self._standalone.get(lineno),
+        ):
+            if rules is None:
+                continue
+            if rules is ALL_RULES or not rules or rule_id in rules:
+                self.matched += 1
+                return True
+        return False
+
+
+def _parse_ignore(line: str) -> Optional[FrozenSet[str]]:
+    """Rule IDs ignored by ``line``'s comment, or None if no comment.
+
+    An empty frozenset means the bare form (ignore everything).
+    """
+    match = _IGNORE_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return ALL_RULES
+    return frozenset(
+        part.strip().upper() for part in rules.split(",") if part.strip()
+    )

@@ -87,6 +87,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.detlint.hashseed import ensure_hash_seed
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import Simulation, SimulationConfig
 from repro.traces import cache as trace_disk_cache
@@ -485,10 +486,28 @@ def trace_perf_counters() -> Dict[str, int]:
 
 
 def execute(spec: RunSpec) -> RunResult:
-    """Run one spec to completion (pure: output depends only on the spec)."""
+    """Run one spec to completion (pure: output depends only on the spec).
+
+    With ``REPRO_DETCHECK`` enabled (see
+    :mod:`repro.detlint.sanitizer`), the run is executed under the
+    runtime sanitizer — double-run fingerprint cross-check, global-RNG
+    guard and hash-seed verification — and the first run's result is
+    returned, so sanitized and unsanitized executions are
+    interchangeable. The environment variable is inherited by pool
+    workers, covering parallel sweeps too.
+    """
+    # Pin PYTHONHASHSEED before the run so the recorded
+    # detcheck.pythonhashseed counter is identical whether this spec
+    # executes inline, in a worker, or in a resumed sweep.
+    ensure_hash_seed()
     start = time.perf_counter()
     trace = _trace_for(spec.trace)
-    result = Simulation(trace, spec.resolved_config()).run()
+    from repro.detlint import sanitizer  # deferred: pulls in hashing/json only
+
+    if sanitizer.detcheck_enabled():
+        result = sanitizer.checked_run(trace, spec.resolved_config())
+    else:
+        result = Simulation(trace, spec.resolved_config()).run()
     return RunResult(spec=spec, result=result, wall_time=time.perf_counter() - start)
 
 
@@ -591,6 +610,12 @@ def run_many(
     apply).
     """
     specs = list(specs)
+    # Worker bootstrap: pool workers inherit the parent environment, so
+    # pinning PYTHONHASHSEED here (when the caller left it unset)
+    # guarantees every spawned interpreter runs unsalted — and that the
+    # detcheck.pythonhashseed counter recorded by each run is identical
+    # across serial, parallel and resumed executions of the same sweep.
+    ensure_hash_seed()
     __, jobs = resolve_execution_mode(jobs, mode)
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")

@@ -9,7 +9,7 @@ figures show, directly in a terminal or CI log.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.experiments.sweep import SweepResult
 

@@ -35,7 +35,6 @@ from repro.experiments.workloads import (
     nus_base_config,
     nus_trace,
 )
-from repro.faults import FaultPlan
 from repro.sim.runner import SimulationConfig
 
 #: Paper x-axis ranges (§VI-A).

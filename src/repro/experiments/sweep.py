@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
 from repro.core.mbt import ProtocolVariant
 from repro.exec import RunSpec, TraceSpec, as_trace_spec, resolve_callable, run_many

@@ -9,7 +9,7 @@ prints it as a checklist.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.analysis.capacity import (
     broadcast_per_node_capacity,

@@ -24,7 +24,7 @@ from __future__ import annotations
 import heapq
 import math
 from collections import defaultdict
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.routing.base import Message, Router
 from repro.types import NodeId

@@ -14,7 +14,7 @@ destination exceeds the carrier's.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.routing.base import Message, Router
 from repro.types import HOUR, NodeId

@@ -24,7 +24,7 @@ import enum
 import json
 import struct
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.catalog.metadata import Metadata
 from repro.types import NodeId, Uri

@@ -18,7 +18,7 @@ the §V-B cyclic mode.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.catalog.files import IntegrityError, bit_indices, pack_bitmap, piece_payload
 from repro.core.mbt import ProtocolConfig

@@ -9,7 +9,7 @@ on demand for fault-injection tests.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Optional
 
 from repro.types import NodeId
 

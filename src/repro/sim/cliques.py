@@ -10,7 +10,7 @@ against :func:`networkx.find_cliques`.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set
 
 from repro.net.messages import HelloMessage
 from repro.types import NodeId
@@ -114,6 +114,6 @@ def partition_into_cliques(
         partition.append(best)
         for u in best:
             remaining.pop(u, None)
-        for vs in remaining.values():
-            vs -= best
+        for u in sorted(remaining):
+            remaining[u] -= best
     return partition

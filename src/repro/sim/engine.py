@@ -123,6 +123,12 @@ class Simulator:
         self._queue = EventQueue()
         self._events_executed = 0
         self._events_by_priority: dict[int, int] = {}
+        #: Optional hook called as ``observer(now, events_executed)``
+        #: after every executed event. Installed by the detcheck
+        #: sanitizer to assert invariants (e.g. the global RNG stayed
+        #: untouched) at event granularity; ``None`` costs one
+        #: attribute load per event.
+        self.event_observer: Optional[Callable[[float, int], None]] = None
 
     @property
     def now(self) -> float:
@@ -208,6 +214,9 @@ class Simulator:
         self._events_by_priority[priority] = (
             self._events_by_priority.get(priority, 0) + 1
         )
+        observer = self.event_observer
+        if observer is not None:
+            observer(self._now, self._events_executed)
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:

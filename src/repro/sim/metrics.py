@@ -72,6 +72,10 @@ COUNTER_KEYS: Tuple[str, ...] = (
     "faults.corrupt_receipts",
     "faults.crashes",
     "faults.rebirths",
+    # The PYTHONHASHSEED the run executed under (-1 = unpinned); see
+    # repro.detlint.hashseed. Recorded by the runner so the detcheck
+    # sanitizer can verify the environment's pin reached the run.
+    "detcheck.pythonhashseed",
 )
 
 #: Prefix of the performance-instrumentation namespace (see

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.detlint.hashseed import hash_seed_value
 
 from repro.catalog.adversary import FakeFileFactory
 from repro.catalog.generator import CatalogConfig, CatalogGenerator
@@ -288,9 +290,18 @@ class Simulation:
 
     # -- execution ------------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Execute the full simulation and return the delivery ratios."""
+    def run(
+        self,
+        event_observer: Optional[Callable[[float, int], None]] = None,
+    ) -> SimulationResult:
+        """Execute the full simulation and return the delivery ratios.
+
+        ``event_observer`` (if given) is installed on the engine and
+        called after every executed event — the detcheck sanitizer's
+        hook for per-event invariant assertions.
+        """
         sim = Simulator()
+        sim.event_observer = event_observer
         days = self.num_days()
         horizon = days * DAY
 
@@ -333,6 +344,12 @@ class Simulation:
             "selfish_nodes": float(len(self._selfish_nodes)),
             "malicious_nodes": float(len(self._malicious_nodes)),
             "events": float(sim.events_executed),
+            # The hash seed this run executed under (-1 = unpinned).
+            # Recorded so detcheck (and post-hoc result forensics) can
+            # verify what the environment pinned; the kernel exports
+            # PYTHONHASHSEED before fan-out, keeping this identical
+            # across serial, parallel and resumed executions.
+            "detcheck.pythonhashseed": float(hash_seed_value()),
         }
         extra.update(self._instrumentation(sim))
         return self._metrics.result(extra)
@@ -357,7 +374,7 @@ class Simulation:
             counters[name] = counters.get(name, 0.0) + float(count)
         for name, value in self._engine.counters.as_dict().items():
             counters[name] = float(value)
-        stats = [s.stats for s in self._states.values()]
+        stats = [self._states[node].stats for node in sorted(self._states)]
         counters["metadata_rejected_auth"] = float(
             sum(s.metadata_rejected_auth for s in stats)
         )

@@ -181,6 +181,8 @@ def store(cache_dir: Union[str, Path], key: str, trace: ContactTrace) -> bool:
     """
     directory = Path(cache_dir)
     final = entry_path(directory, key)
+    # detlint: ignore[DET003] -- entropy names a process-unique temp file
+    # for the atomic rename; it never influences simulation results.
     tmp = directory / f".{key}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
     try:
         directory.mkdir(parents=True, exist_ok=True)

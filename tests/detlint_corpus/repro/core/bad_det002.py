@@ -1,0 +1,46 @@
+"""DET002 fixtures: hash-order iteration in the simulation core."""
+
+
+def broadcast(neighbors, stores):
+    # BAD: set() call iterated directly.
+    for peer in set(neighbors):
+        yield peer
+    # BAD: dict .values() view.
+    for store in stores.values():
+        yield store
+
+
+def union_walk(a, b):
+    # BAD: set-algebra result.
+    for member in a.union(b):
+        yield member
+
+
+def literal_walk():
+    # BAD: set literal.
+    return [x for x in {3, 1, 2}]
+
+
+def comprehension_walk(nodes):
+    # BAD: set comprehension feeding a generator expression.
+    return list(n for n in {n for n in nodes})
+
+
+def wrapped_walk(nodes):
+    # BAD: list() preserves the set's arbitrary order.
+    for n in list(frozenset(nodes)):
+        yield n
+
+
+def good_sorted(neighbors, stores):
+    # GOOD: canonical ordering restores determinism.
+    for peer in sorted(set(neighbors)):
+        yield peer
+    for key in sorted(stores):
+        yield stores[key]
+
+
+def good_list_of_list(rows):
+    # GOOD: lists are insertion-ordered.
+    for row in list(rows):
+        yield row

@@ -1,0 +1,45 @@
+"""DET004 fixtures: float equality on simulation state."""
+
+
+def contact_started(contact, now):
+    # BAD: exact equality on an event time.
+    return contact.start == now
+
+
+def deadline_missed(query, now):
+    # BAD: != on a float attribute.
+    return query.expires_at != now
+
+
+def is_half(ratio):
+    # BAD: float-literal equality.
+    return ratio == 0.5
+
+
+def delivered_instantly(record):
+    # BAD: _at-suffixed attributes are delivery instants.
+    return record.metadata_delivered_at == record.file_delivered_at
+
+
+def good_window(contact, now):
+    # GOOD: orderings are robust.
+    return contact.start <= now < contact.end
+
+
+def good_tolerance(ratio):
+    # GOOD: tolerance comparison.
+    return abs(ratio - 0.5) < 1e-9
+
+
+def good_int_equality(count):
+    # GOOD: integer equality is exact by construction.
+    return count == 3
+
+
+def good_suppressed(contact, now):
+    return contact.start == now  # detlint: ignore[DET004] boundary probe
+
+
+def good_is_none(record):
+    # GOOD: identity test, not float equality.
+    return record.metadata_delivered_at is None

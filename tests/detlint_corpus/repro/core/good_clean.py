@@ -1,0 +1,35 @@
+"""A clean simulation-core file: canonical patterns + suppressions."""
+
+import random
+
+
+def seeded_stream(seed: int):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(4)]
+
+
+def canonical_iteration(members, stores):
+    for member in sorted(set(members)):
+        yield member
+    for key in sorted(stores):
+        yield stores[key]
+
+
+def window_check(contact, now: float) -> bool:
+    return contact.start <= now < contact.end
+
+
+def justified_exact_compare(cached_now: float, now: float) -> bool:
+    # detlint: ignore[DET004] -- cache identity: the memo is only valid
+    # at the exact instant it was computed for.
+    return cached_now == now
+
+
+def justified_values_iteration(states):
+    # detlint: ignore[DET002] -- insertion-ordered dict, inserted in
+    # deterministic node order.
+    return [s for s in states.values()]
+
+
+def safe_pop(credits, node):
+    return credits.pop(node, 0)

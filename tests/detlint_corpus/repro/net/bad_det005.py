@@ -1,0 +1,47 @@
+"""DET005 fixtures: mutable defaults / non-literal pop defaults."""
+
+FALLBACK = {"pieces": 0}
+
+
+def handle_hello(sender, receivers=[]):
+    # BAD: mutable list default shared across calls.
+    receivers.append(sender)
+    return receivers
+
+
+def handle_offer(offer, seen=set()):
+    # BAD: mutable set default.
+    seen.add(offer)
+    return seen
+
+
+def handle_budget(budget, limits={}):
+    # BAD: mutable dict default.
+    return limits.setdefault(budget, 0)
+
+
+def handle_factory(queue=list()):
+    # BAD: factory-call default is evaluated once and shared.
+    return queue
+
+
+def take_credit(credits, node):
+    # BAD: non-literal pop default (shared module-level dict).
+    return credits.pop(node, FALLBACK)
+
+
+def good_none_default(sender, receivers=None):
+    # GOOD: construct inside the call.
+    receivers = [] if receivers is None else receivers
+    receivers.append(sender)
+    return receivers
+
+
+def good_literal_pop(credits, node):
+    # GOOD: literal defaults cannot alias.
+    return credits.pop(node, 0)
+
+
+def good_tuple_default(window=(0, 1)):
+    # GOOD: immutable default.
+    return window

@@ -1,0 +1,45 @@
+"""DET001 fixtures: global / unseeded randomness in a sim path."""
+
+import random
+from random import Random, randint
+
+
+def jitter_contacts(contacts):
+    # BAD: module-level function consumes the process-global stream.
+    return [c + random.random() for c in contacts]
+
+
+def pick_peer(peers):
+    # BAD: random.choice is the classic ONE-simulator repro bug.
+    return random.choice(peers)
+
+
+def make_rng():
+    # BAD: unseeded Random() seeds itself from OS entropy.
+    return random.Random()
+
+
+def make_rng_imported():
+    # BAD: same, through the from-import alias.
+    return Random()
+
+
+def roll():
+    # BAD: from-imported module-level function.
+    return randint(0, 6)
+
+
+def reseed_everything():
+    # BAD: mutating the global stream perturbs every other consumer.
+    random.seed(0)
+
+
+def good_seeded(seed: int):
+    # GOOD: explicitly seeded private instance.
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def good_seeded_kwarg(seed: int):
+    # GOOD: seed passed as a keyword.
+    return random.Random(x=seed)

@@ -1,0 +1,47 @@
+"""DET003 fixtures: ambient time / entropy inside the simulation."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+from time import time as wall_clock
+
+
+def stamp_event(event):
+    # BAD: wall clock inside the event loop.
+    return (event, time.time())
+
+
+def stamp_monotonic(event):
+    # BAD: monotonic is still ambient process state.
+    return (event, time.monotonic())
+
+
+def stamp_datetime():
+    # BAD: datetime.now() through the class.
+    return datetime.now()
+
+
+def fresh_id():
+    # BAD: uuid4 draws OS entropy.
+    return uuid.uuid4()
+
+
+def fresh_token():
+    # BAD: raw OS entropy.
+    return os.urandom(8)
+
+
+def aliased_stamp():
+    # BAD: from-import alias of time.time.
+    return wall_clock()
+
+
+def good_engine_time(sim):
+    # GOOD: only the engine clock supplies time.
+    return sim.now
+
+
+def good_parameter(now: float):
+    # GOOD: time travels as data.
+    return now + 1.0

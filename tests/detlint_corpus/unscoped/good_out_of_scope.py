@@ -1,0 +1,17 @@
+"""The same hazards outside every rule scope: zero findings.
+
+Path scoping is the linter's precision mechanism — benchmark drivers
+and reporting code may read wall clocks and iterate sets freely.
+"""
+
+import random
+import time
+
+
+def wall_clock_report(rows):
+    stamp = time.time()
+    return [(stamp, row) for row in set(rows)]
+
+
+def sample_rows(rows):
+    return random.sample(list(rows), 2)
