@@ -1,0 +1,149 @@
+"""Array-core speedup benchmark: object vs numpy contact hot path.
+
+Runs the *saturated-catalog* workload — every node syncs the same large
+popular-metadata set from the Internet, so per-contact work is dominated
+by the clique-view scan over members x records, which is exactly the
+term ``core="array"`` vectorizes — once per core and checks that
+
+* the two runs are **bitwise identical** (same result fingerprint; the
+  ``core`` knob is an implementation choice, not a protocol change), and
+* the array core processes contact events at least ``SPEEDUP_TARGET``
+  times faster than the reference object core.
+
+Invoked by CI both through pytest (equivalence always asserted) and as
+a script gate::
+
+    PYTHONPATH=src python benchmarks/bench_array_core.py --min-speedup 3.0
+
+The script exits non-zero when the speedup falls below the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from typing import Any, Dict
+
+from repro.detlint.sanitizer import result_fingerprint
+from repro.experiments.workloads import dieselnet_base_config, dieselnet_trace
+from repro.sim.runner import run_simulation
+
+#: Events/s floor the array core must clear over the object core on the
+#: workload below (the ISSUE's acceptance bar; measured ~3.8x).
+SPEEDUP_TARGET = 3.0
+
+#: Best-of-N wall-clock measurement (guards against scheduler noise —
+#: the single-shot timing that once recorded a phantom 0.87x regression).
+REPEATS = 3
+
+
+def bench_config():
+    """Saturated-catalog workload on the fast DieselNet trace.
+
+    Full Internet access and a large push budget replicate the same
+    top-popular records to every node, so cliques meet with big,
+    near-identical stores: almost no candidates to schedule, and the
+    per-contact cost is the clique-view membership/liveness scan.
+    """
+    return replace(
+        dieselnet_base_config(),
+        internet_access_fraction=1.0,
+        files_per_day=400,
+        ttl_days=8.0,
+        push_limit=2000,
+        pull_limit=5,
+        metadata_per_contact=3,
+        files_per_contact=3,
+        queries_per_node_per_day=0.5,
+        popular_file_downloads=0,
+    )
+
+
+def measure_array_core(repeats: int = REPEATS) -> Dict[str, Any]:
+    """Best-of-N object-vs-array timing plus fingerprint cross-check."""
+    trace = dieselnet_trace("fast")
+    config = bench_config()
+    out: Dict[str, Any] = {"repeats": repeats, "workload": "dieselnet-fast/saturated-catalog"}
+    fingerprints = {}
+    for core in ("object", "array"):
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = run_simulation(trace, replace(config, core=core))
+            best = min(best, time.perf_counter() - t0)
+        events = float(result.extra.get("events", 0.0))
+        fingerprints[core] = result_fingerprint(result)
+        out[f"{core}_wall_s"] = round(best, 4)
+        out[f"{core}_events_per_s"] = round(events / best, 1) if best > 0 else 0.0
+        out["events"] = int(events)
+    out["speedup"] = (
+        round(out["object_wall_s"] / out["array_wall_s"], 2)
+        if out["array_wall_s"] > 0
+        else float("inf")
+    )
+    out["fingerprint_match"] = fingerprints["object"] == fingerprints["array"]
+    out["fingerprint"] = fingerprints["object"][:16]
+    return out
+
+
+def _report(measurement: Dict[str, Any]) -> None:
+    print(
+        f"array core: {measurement['events']} events, "
+        f"object {measurement['object_wall_s']:.3f}s "
+        f"({measurement['object_events_per_s']:.0f} ev/s), "
+        f"array {measurement['array_wall_s']:.3f}s "
+        f"({measurement['array_events_per_s']:.0f} ev/s) "
+        f"-> {measurement['speedup']:.2f}x, fingerprints "
+        f"{'match' if measurement['fingerprint_match'] else 'MISMATCH'}"
+    )
+
+
+def test_array_core_equivalent_and_faster(benchmark):
+    measurement = benchmark.pedantic(
+        lambda: measure_array_core(repeats=1), rounds=1, iterations=1
+    )
+    print()
+    _report(measurement)
+    # Bitwise identity is the hard invariant — any mismatch is a bug.
+    assert measurement["fingerprint_match"], (
+        "core='array' diverged from core='object' on the bench workload"
+    )
+    # The timing bar is asserted leniently under pytest (shared CI boxes
+    # jitter); the scripted CI gate below enforces the full target.
+    assert measurement["speedup"] >= 1.0, (
+        f"array core slower than object core: {measurement['speedup']:.2f}x"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=SPEEDUP_TARGET,
+        help=f"fail below this object->array speedup (default {SPEEDUP_TARGET})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=REPEATS, help="best-of-N repetitions"
+    )
+    args = parser.parse_args(argv)
+    measurement = measure_array_core(repeats=args.repeats)
+    _report(measurement)
+    if not measurement["fingerprint_match"]:
+        print("::error title=array core divergence::core='array' result "
+              "fingerprint differs from core='object'")
+        return 1
+    if measurement["speedup"] < args.min_speedup:
+        print(
+            f"::error title=array core regression::speedup "
+            f"{measurement['speedup']:.2f}x below the {args.min_speedup:.2f}x floor"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

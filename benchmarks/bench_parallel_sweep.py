@@ -67,3 +67,11 @@ def test_parallel_sweep_matches_serial_and_scales(benchmark):
             f"expected >= {SPEEDUP_TARGET}x speedup with {JOBS} workers on "
             f"{cores} cores, measured {speedup:.2f}x"
         )
+    else:
+        # A process pool cannot beat serial execution without spare
+        # cores; asserting a speedup here would only measure the pool's
+        # overhead. Correctness (bitwise identity) was still checked.
+        print(
+            f"speedup assertion skipped: {cores} core(s) < {JOBS} workers "
+            f"(correctness checks still ran)"
+        )

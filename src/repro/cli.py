@@ -108,6 +108,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.fault_seed,
         ),
         profile=args.profile,
+        core=args.core,
         seed=args.seed,
     )
     variants = (
@@ -255,6 +256,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-node-per-day crash probability")
     run.add_argument("--fault-seed", type=int, default=0,
                      help="seed of the fault-injection streams")
+    run.add_argument("--core", choices=("object", "array"), default="object",
+                     help="contact hot-path implementation: the reference "
+                          "object core or the numpy array core (bitwise-"
+                          "identical results, not part of the fingerprint)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true",
                      help="emit results as JSON instead of a table")

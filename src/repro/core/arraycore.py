@@ -1,0 +1,265 @@
+"""Vectorized clique phase over :class:`~repro.core.arrays.NodeStateArrays`.
+
+The object-path clique phase rebuilds a :class:`~repro.core.cliqueview.
+CliqueView` per clique by scanning every record of every member store.
+This module replaces that scan with array lookups: membership,
+liveness, canonical-record selection and piece-bitmap unions are numpy
+reductions over the run-global struct-of-arrays mirror, and only the
+(small) surviving candidate set is materialized as Python objects.
+
+Equivalence contract
+--------------------
+The builders here must be *bitwise-equivalent* to
+:func:`repro.core.discovery.build_metadata_candidates` and
+:func:`repro.core.download.build_piece_candidates` — not just produce
+equal candidate sets. Two implementation rules make that hold:
+
+* **Counter parity.** The deterministic ``perf.*`` counters are part
+  of the result fingerprint, so every memoized accessor the object
+  builders touch (``own_query_tokens``, ``foreign_query_tokens``,
+  ``wanted_uris``) is called here for the same members at the same
+  instants.
+* **Set-layout parity.** The scheduler iterates some of the candidate
+  frozensets (e.g. broadcast receivers derive from ``missing``), and
+  equal sets built in different element orders can iterate differently.
+  Every frozenset below is built by the *same comprehension shape over
+  the same iteration order* as its object-path twin: ``missing`` filters
+  ``members``, requesters filter ``missing`` (metadata) or the
+  member-order ``wanting`` list (pieces), piece holders filter the
+  member-order bitmap list. Sets the engine only uses for membership
+  tests and ``min()`` (holders, eligible senders) are exempt.
+
+The builders read the arrays *fresh* on every call instead of patching
+a per-clique snapshot: the store observers keep the arrays current
+through mid-contact transmissions, which is exactly the state the
+object view reaches via ``note_holder``/``refresh``. The canonical
+record per URI is re-derived as "first sorted member holding the
+maximum popularity" (``argmax`` returns the first maximum), which picks
+a record object equal to the object view's build-time choice: metadata
+transmissions always deliver the canonical copy, so mid-contact
+deliveries never raise the maximum and any new first-holder stores the
+very record the object view already chose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
+
+from repro.catalog.files import bit_indices
+from repro.core import discovery, download
+from repro.core.arrays import NodeStateArrays, _np as np
+from repro.core.node import NodeState
+from repro.types import NodeId, Uri
+
+
+class ArrayCliqueView:
+    """Array-core stand-in for :class:`~repro.core.cliqueview.CliqueView`.
+
+    Carries the clique's identity (members, instant, arrays handle)
+    between the discovery and download phases and mirrors the object
+    view's maintenance API. ``note_holder`` is a no-op — the store
+    observers already recorded the transmission in the arrays — and
+    ``mark_dirty``/``refresh`` only replicate the object view's
+    rebuild *accounting* (the ``perf.view_reuses`` /
+    ``perf.view_rebuilds`` counters are fingerprinted), since the
+    builders re-read the arrays fresh either way.
+    """
+
+    __slots__ = ("soa", "states", "now", "members_sorted", "_rows_sorted", "_dirty", "rebuilds")
+
+    def __init__(
+        self,
+        soa: NodeStateArrays,
+        states: Mapping[NodeId, NodeState],
+        now: float,
+    ) -> None:
+        self.soa = soa
+        self.states = states
+        self.now = now
+        self.members_sorted: List[NodeId] = sorted(states)
+        self._rows_sorted = np.fromiter(
+            (soa.row_of(n) for n in self.members_sorted),
+            dtype=np.intp,
+            count=len(self.members_sorted),
+        )
+        self._dirty = False
+        self.rebuilds = 0
+
+    def held_live(self) -> "np.ndarray":
+        """Bool matrix: ``[sorted-member i, uri id j]`` holds a live record."""
+        soa = self.soa
+        size = soa.size
+        pop = soa.pop[self._rows_sorted, :size]
+        live = soa.expires_at[:size] > self.now
+        return (pop >= 0.0) & live[None, :]
+
+    def pop_sub(self) -> "np.ndarray":
+        """Popularity matrix over sorted members (``-1`` = not held)."""
+        return self.soa.pop[self._rows_sorted, : self.soa.size]
+
+    # -- CliqueView maintenance API -------------------------------------------
+
+    def note_holder(self, node: NodeId, record) -> None:
+        """No-op: the receiving store's observer already updated the arrays."""
+
+    def mark_dirty(self) -> None:
+        self._dirty = True
+
+    def refresh(self) -> bool:
+        """Report (and clear) dirtiness, mirroring the object view's rebuild."""
+        if not self._dirty:
+            return False
+        self._dirty = False
+        self.rebuilds += 1
+        return True
+
+
+def _matched_ids(soa: NodeStateArrays, token_sets: Sequence[FrozenSet[str]]) -> Set[int]:
+    """Union of global conjunctive-match id sets over several queries."""
+    out: Set[int] = set()
+    for tokens in token_sets:
+        __, ids = soa.match_ids(tokens)
+        if ids:
+            out |= ids
+    return out
+
+
+def _canonical_rows(held: "np.ndarray", pop: "np.ndarray", cols: "np.ndarray") -> "np.ndarray":
+    """First sorted-member row holding the max-popularity live copy, per column."""
+    masked = np.where(held[:, cols], pop[:, cols], -1.0)
+    return masked.argmax(axis=0)
+
+
+def build_metadata_candidates(
+    view: ArrayCliqueView,
+    states: Mapping[NodeId, NodeState],
+    now: float,
+    include_foreign: bool,
+) -> List[discovery.MetadataCandidate]:
+    """Array twin of :func:`repro.core.discovery.build_metadata_candidates`."""
+    soa = view.soa
+    members = frozenset(states)
+    msorted = view.members_sorted
+    no_match: Set[int] = set()
+    # Token matching runs against the run-global postings (memoized per
+    # token set) instead of a freshly built per-clique index; the
+    # accessors are still called for every member for counter parity.
+    own_ids = {n: _matched_ids(soa, s.own_query_tokens(now)) for n, s in states.items()}
+    if include_foreign:
+        foreign_ids = {
+            n: _matched_ids(soa, s.foreign_query_tokens(now))
+            for n, s in states.items()
+        }
+    else:
+        foreign_ids = {n: no_match for n in states}
+
+    held = view.held_live()
+    if held.size == 0:
+        return []
+    holder_count = held.sum(axis=0, dtype=np.int64)
+    # A candidate needs at least one holder and at least one member
+    # missing the record.
+    cand_mask = (holder_count > 0) & (holder_count < len(msorted))
+    cand_cols = np.nonzero(cand_mask)[0]
+    if cand_cols.size == 0:
+        return []
+    canon = _canonical_rows(held, view.pop_sub(), cand_cols).tolist()
+    # One bulk transpose+tolist instead of a numpy call per candidate:
+    # per-candidate work below is pure-Python over short member lists.
+    held_rows = held[:, cand_cols].T.tolist()
+
+    candidates: List[discovery.MetadataCandidate] = []
+    for t, j in enumerate(cand_cols.tolist()):
+        uri = soa.uri_of(j)
+        flags = held_rows[t]
+        holders = {node for node, flag in zip(msorted, flags) if flag}
+        missing = members - holders
+        own = frozenset(node for node in missing if j in own_ids[node])
+        proxy = frozenset(
+            node
+            for node in missing
+            if node not in own and j in foreign_ids[node]
+        )
+        record = states[msorted[canon[t]]].metadata.peek(uri)
+        assert record is not None  # canon row holds a live copy by construction
+        candidates.append(
+            discovery.MetadataCandidate(
+                metadata=record,
+                holders=frozenset(holders),
+                own_requesters=own,
+                proxy_requesters=proxy,
+                missing=frozenset(missing),
+            )
+        )
+    return candidates
+
+
+def build_piece_candidates(
+    view: ArrayCliqueView,
+    states: Mapping[NodeId, NodeState],
+    now: float,
+) -> List[download.PieceCandidate]:
+    """Array twin of :func:`repro.core.download.build_piece_candidates`."""
+    soa = view.soa
+    downloads = download.advertised_downloads(states, now)
+    members = frozenset(states)
+    member_list = list(states)
+    msorted = view.members_sorted
+
+    held = view.held_live()
+    if held.size == 0:
+        return []
+    holder_count = held.sum(axis=0, dtype=np.int64)
+    # URIs with a live record somewhere in the clique — the object
+    # view's ``record_by_uri`` key set at piece-phase time.
+    live_cols = np.nonzero(holder_count > 0)[0]
+    if live_cols.size == 0:
+        return []
+    rows_mlist = np.fromiter(
+        (soa.row_of(n) for n in member_list), dtype=np.intp, count=len(member_list)
+    )
+    bits_sub = soa.bits[rows_mlist[:, None], live_cols[None, :]]
+    union_col = np.bitwise_or.reduce(bits_sub, axis=0)
+    active = np.nonzero(union_col != np.uint64(0))[0]
+    if active.size == 0:
+        return []
+    # Restrict every per-URI array to the active columns, then convert
+    # to Python lists in bulk: the loop body must not touch numpy.
+    cols_act = live_cols[active]
+    canon = _canonical_rows(held, view.pop_sub(), cols_act).tolist()
+    bits_rows = bits_sub[:, active].T.tolist()
+    held_rows = held[:, cols_act].T.tolist()
+    union_list = union_col[active].tolist()
+
+    candidates: List[download.PieceCandidate] = []
+    for t, j in enumerate(cols_act.tolist()):
+        uri = soa.uri_of(j)
+        member_bits = bits_rows[t]
+        holder_bitmaps = [
+            (node, bitmap) for node, bitmap in zip(member_list, member_bits) if bitmap
+        ]
+        union = union_list[t]
+        eligible_pool = {node for node, flag in zip(msorted, held_rows[t]) if flag}
+        wanting = [node for node in member_list if uri in downloads[node]]
+        record = states[msorted[canon[t]]].metadata.peek(uri)
+        assert record is not None
+        for index in bit_indices(union):
+            mask = 1 << index
+            holders = {node for node, bitmap in holder_bitmaps if bitmap & mask}
+            eligible_senders = frozenset(holders & eligible_pool)
+            if not eligible_senders:
+                continue
+            missing = members - holders
+            if not missing:
+                continue
+            requesters = frozenset(node for node in wanting if node not in holders)
+            candidates.append(
+                download.PieceCandidate(
+                    metadata=record,
+                    index=index,
+                    holders=eligible_senders,
+                    requesters=requesters,
+                    missing=frozenset(missing),
+                )
+            )
+    return candidates

@@ -1,0 +1,369 @@
+"""Struct-of-arrays mirror of every node's hot protocol state.
+
+The per-contact hot path (clique views, candidate building, wanted-set
+refreshes) spends its time scanning per-object Python state: dicts of
+:class:`~repro.catalog.metadata.Metadata` records and per-URI bitmap
+ints. :class:`NodeStateArrays` keeps the *scan-relevant* projection of
+that state in numpy arrays — one row per node, one column per interned
+URI — so the array core (:mod:`repro.core.arraycore`) can answer "who
+holds what, live, complete?" for a whole clique with a handful of
+vectorized operations instead of a Python loop over every record of
+every member.
+
+Layout
+------
+* ``pop[node_row, uri_col]`` — ``float64``, the popularity of the
+  node's stored copy of that URI, or ``-1.0`` when the node does not
+  hold it (legal popularities live in ``[0, 1]``, so the sentinel is
+  unambiguous). ``pop >= 0`` *is* the held-matrix.
+* ``bits[node_row, uri_col]`` — ``uint64``, the node's piece bitmap
+  for that URI (bit *i* set = piece *i* stored), mirroring
+  :class:`~repro.catalog.files.PieceStore` exactly.
+* per-URI columns ``expires_at`` (``float64``) and ``num_pieces``
+  (``int64``), plus an inverted token→URI-id postings map and a
+  memoized conjunctive-match cache keyed by query token sets.
+
+Synchronisation
+---------------
+The arrays are written *only* through tiny observers attached to each
+node's :class:`~repro.core.node.MetadataStore` and
+:class:`~repro.catalog.files.PieceStore` (see :meth:`attach`). The
+object stores remain the source of truth; the arrays are a derived
+index, exactly like the stores' own token indexes.
+
+Coherence
+---------
+The array layout assumes what the simulation guarantees: all copies of
+a URI share identity fields (tokens, creation time, TTL, piece count —
+only popularity drifts), and files have at most 64 pieces (one
+``uint64`` lane). State that violates either assumption — possible in
+adversarial unit tests, not in simulation runs — flips
+:attr:`coherent` to ``False``; every consumer checks the flag and
+falls back to the object-path builders, which are equivalent by
+construction, so results are unaffected.
+
+numpy is a declared dependency but the import is guarded: without it
+the module still imports, ``HAVE_NUMPY`` is ``False``, and
+constructing :class:`NodeStateArrays` raises an informative error
+(``core="object"``, the default, never touches this module).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.catalog.metadata import Metadata
+from repro.types import NodeId, Uri
+
+try:  # pragma: no cover - exercised via HAVE_NUMPY in tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+HAVE_NUMPY = _np is not None
+
+#: One uint64 lane per (node, URI): files with more pieces fall back
+#: to the object path (the generator's 256 KB pieces make >64-piece
+#: files a 16 MB+ corner the evaluation never exercises).
+MAX_PIECE_BITS = 64
+
+_MISSING_NUMPY = (
+    "core='array' requires numpy, which is not importable in this "
+    "environment; install the 'numpy' dependency or run with the "
+    "default core='object'"
+)
+
+
+def require_numpy() -> None:
+    """Raise an informative error when numpy is unavailable."""
+    if not HAVE_NUMPY:
+        raise RuntimeError(_MISSING_NUMPY)
+
+
+def popcount_u64(values: "_np.ndarray") -> "_np.ndarray":
+    """Per-element population count of a ``uint64`` array (as int64)."""
+    if hasattr(_np, "bitwise_count"):  # numpy >= 2.0
+        return _np.bitwise_count(values).astype(_np.int64)
+    # SWAR fallback for older numpy (parallel bit-count in 64-bit lanes).
+    v = values.astype(_np.uint64)
+    v = v - ((v >> _np.uint64(1)) & _np.uint64(0x5555555555555555))
+    v = (v & _np.uint64(0x3333333333333333)) + (
+        (v >> _np.uint64(2)) & _np.uint64(0x3333333333333333)
+    )
+    v = (v + (v >> _np.uint64(4))) & _np.uint64(0x0F0F0F0F0F0F0F0F)
+    return ((v * _np.uint64(0x0101010101010101)) >> _np.uint64(56)).astype(_np.int64)
+
+
+class _MetadataObserver:
+    """Forwards one node's metadata-store mutations into the arrays."""
+
+    __slots__ = ("_arrays", "_row")
+
+    def __init__(self, arrays: "NodeStateArrays", row: int) -> None:
+        self._arrays = arrays
+        self._row = row
+
+    def added(self, record: Metadata) -> None:
+        self._arrays.md_added(self._row, record)
+
+    def removed(self, uri: Uri) -> None:
+        self._arrays.md_removed(self._row, uri)
+
+    def cleared(self) -> None:
+        self._arrays.md_cleared(self._row)
+
+
+class _PieceObserver:
+    """Forwards one node's piece-store mutations into the arrays."""
+
+    __slots__ = ("_arrays", "_row")
+
+    def __init__(self, arrays: "NodeStateArrays", row: int) -> None:
+        self._arrays = arrays
+        self._row = row
+
+    def changed(self, uri: Uri, bitmap: int) -> None:
+        self._arrays.pieces_set(self._row, uri, bitmap)
+
+    def cleared(self) -> None:
+        self._arrays.pieces_cleared(self._row)
+
+
+class NodeStateArrays:
+    """Run-global numpy mirror of all nodes' stores (see module docstring)."""
+
+    def __init__(self, nodes: Sequence[NodeId], initial_capacity: int = 256) -> None:
+        require_numpy()
+        self.nodes: Tuple[NodeId, ...] = tuple(nodes)
+        self._row_of: Dict[NodeId, int] = {n: i for i, n in enumerate(self.nodes)}
+        if len(self._row_of) != len(self.nodes):
+            raise ValueError("duplicate node ids")
+        n = len(self.nodes)
+        cap = max(1, initial_capacity)
+        self._cap = cap
+        #: Number of interned URIs; doubles as the match-cache version.
+        self.size = 0
+        self._uris: List[Uri] = []
+        self._id_of: Dict[Uri, int] = {}
+        self.expires_at = _np.full(cap, -_np.inf, dtype=_np.float64)
+        self.num_pieces = _np.zeros(cap, dtype=_np.int64)
+        #: Identity fields of each URI's first-seen record, for the
+        #: coherence check (None until a metadata record is seen).
+        self._fields: List[Optional[Tuple[float, float, int, FrozenSet[str]]]] = []
+        self.pop = _np.full((n, cap), -1.0, dtype=_np.float64)
+        self.bits = _np.zeros((n, cap), dtype=_np.uint64)
+        self._postings: Dict[str, Set[int]] = {}
+        #: tokens -> (version, sorted id array, id set); stale entries
+        #: are recomputed when new URIs have been interned since.
+        self._match_cache: Dict[
+            FrozenSet[str], Tuple[int, "_np.ndarray", FrozenSet[int]]
+        ] = {}
+        self.coherent = True
+        self.incoherence_reason: Optional[str] = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    @classmethod
+    def adopt(cls, states: Mapping[NodeId, "NodeState"]) -> "NodeStateArrays":  # noqa: F821
+        """Build arrays over ``states`` and attach + backfill every node."""
+        arrays = cls(sorted(states))
+        for node in arrays.nodes:
+            arrays.attach(node, states[node])
+        return arrays
+
+    def attach(self, node: NodeId, state: "NodeState") -> None:  # noqa: F821
+        """Hook one node's stores into the arrays and backfill them."""
+        row = self._row_of[node]
+        state.attach_accel(self, row)
+        state.metadata.set_observer(_MetadataObserver(self, row))
+        state.pieces.set_observer(_PieceObserver(self, row))
+        for record in state.metadata.records():
+            self.md_added(row, record)
+        for uri in state.pieces.iter_uris():
+            self.pieces_set(row, uri, state.pieces.bitmap_of(uri))
+
+    def row_of(self, node: NodeId) -> int:
+        return self._row_of[node]
+
+    def uri_of(self, uri_id: int) -> Uri:
+        return self._uris[uri_id]
+
+    def id_of(self, uri: Uri) -> Optional[int]:
+        return self._id_of.get(uri)
+
+    # -- interning ------------------------------------------------------------
+
+    def _grow(self, needed: int) -> None:
+        cap = self._cap
+        while cap < needed:
+            cap *= 2
+        pad = cap - self._cap
+        self.expires_at = _np.concatenate(
+            [self.expires_at, _np.full(pad, -_np.inf, dtype=_np.float64)]
+        )
+        self.num_pieces = _np.concatenate(
+            [self.num_pieces, _np.zeros(pad, dtype=_np.int64)]
+        )
+        n = len(self.nodes)
+        self.pop = _np.concatenate(
+            [self.pop, _np.full((n, pad), -1.0, dtype=_np.float64)], axis=1
+        )
+        self.bits = _np.concatenate(
+            [self.bits, _np.zeros((n, pad), dtype=_np.uint64)], axis=1
+        )
+        self._cap = cap
+
+    def _intern(self, uri: Uri) -> int:
+        uri_id = self._id_of.get(uri)
+        if uri_id is not None:
+            return uri_id
+        uri_id = self.size
+        if uri_id >= self._cap:
+            self._grow(uri_id + 1)
+        self._id_of[uri] = uri_id
+        self._uris.append(uri)
+        self._fields.append(None)
+        self.size = uri_id + 1
+        return uri_id
+
+    def _set_fields(self, uri_id: int, record: Metadata) -> bool:
+        """Pin the URI's identity fields from its first-seen record."""
+        if record.num_pieces > MAX_PIECE_BITS:
+            self.mark_incoherent(
+                f"{record.uri} has {record.num_pieces} pieces (> {MAX_PIECE_BITS})"
+            )
+            return False
+        self._fields[uri_id] = (
+            record.created_at,
+            record.ttl,
+            record.num_pieces,
+            record.token_set,
+        )
+        self.expires_at[uri_id] = record.expires_at
+        self.num_pieces[uri_id] = record.num_pieces
+        for token in record.token_set:
+            self._postings.setdefault(token, set()).add(uri_id)
+        return True
+
+    def mark_incoherent(self, reason: str) -> None:
+        """Permanently disable the array fast path for this run."""
+        if self.coherent:
+            self.coherent = False
+            self.incoherence_reason = reason
+
+    # -- observer events ------------------------------------------------------
+
+    def md_added(self, row: int, record: Metadata) -> None:
+        if not self.coherent:
+            return
+        uri_id = self._intern(record.uri)
+        fields = self._fields[uri_id]
+        if fields is None:
+            if not self._set_fields(uri_id, record):
+                return
+        elif fields != (
+            record.created_at,
+            record.ttl,
+            record.num_pieces,
+            record.token_set,
+        ):
+            self.mark_incoherent(
+                f"copies of {record.uri} disagree on identity fields"
+            )
+            return
+        self.pop[row, uri_id] = record.popularity
+
+    def md_removed(self, row: int, uri: Uri) -> None:
+        if not self.coherent:
+            return
+        uri_id = self._id_of.get(uri)
+        if uri_id is not None:
+            self.pop[row, uri_id] = -1.0
+
+    def md_cleared(self, row: int) -> None:
+        if not self.coherent:
+            return
+        self.pop[row, : self.size] = -1.0
+
+    def pieces_set(self, row: int, uri: Uri, bitmap: int) -> None:
+        if not self.coherent:
+            return
+        if bitmap >> MAX_PIECE_BITS:
+            self.mark_incoherent(
+                f"piece bitmap of {uri} exceeds {MAX_PIECE_BITS} bits"
+            )
+            return
+        uri_id = self._intern(uri)
+        self.bits[row, uri_id] = bitmap
+
+    def pieces_cleared(self, row: int) -> None:
+        if not self.coherent:
+            return
+        self.bits[row, : self.size] = 0
+
+    # -- queries --------------------------------------------------------------
+
+    def match_ids(self, tokens: FrozenSet[str]) -> Tuple["_np.ndarray", FrozenSet[int]]:
+        """URI ids whose records match the conjunctive token set.
+
+        The global analogue of ``MetadataStore.matching_uris`` /
+        ``CliqueView.matching_uris``: an intersection of per-token
+        posting sets over *all interned URIs* (liveness and holdership
+        are the caller's concern). Memoized per token set; entries are
+        recomputed when new URIs have been interned since (queries
+        repeat across contacts far more often than the catalog grows).
+        """
+        version = self.size
+        cached = self._match_cache.get(tokens)
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2]
+        if not tokens:
+            ids: List[int] = list(range(version))
+        else:
+            postings = []
+            smallest: Optional[Set[int]] = None
+            for token in tokens:
+                posting = self._postings.get(token)
+                if not posting:
+                    postings = []
+                    smallest = set()
+                    break
+                postings.append(posting)
+            if smallest is None:
+                postings.sort(key=len)
+                smallest = set(postings[0])
+                for posting in postings[1:]:
+                    smallest &= posting
+                    if not smallest:
+                        break
+            ids = sorted(smallest)
+        arr = _np.array(ids, dtype=_np.int64)
+        entry = (version, arr, frozenset(ids))
+        self._match_cache[tokens] = entry
+        return arr, entry[2]
+
+    def wanted_uris(
+        self, row: int, token_sets: Iterable[FrozenSet[str]], now: float
+    ) -> FrozenSet[Uri]:
+        """Vectorized wanted-set: matched ∩ held ∩ live ∩ incomplete.
+
+        Array twin of the scan in ``NodeState.wanted_uris`` (selection
+        policy ``"all"``): the union over the node's query token sets
+        of the URIs it holds a live, incomplete record for. The caller
+        maintains the memo and the parity counters.
+        """
+        ids: Set[int] = set()
+        for tokens in token_sets:
+            __, match = self.match_ids(tokens)
+            if match:
+                ids |= match
+        if not ids:
+            return frozenset()
+        arr = _np.fromiter(sorted(ids), dtype=_np.int64, count=len(ids))
+        mask = (self.pop[row, arr] >= 0.0) & (self.expires_at[arr] > now)
+        arr = arr[mask]
+        if arr.size:
+            held = popcount_u64(self.bits[row, arr])
+            arr = arr[held < self.num_pieces[arr]]
+        uris = self._uris
+        return frozenset(uris[i] for i in arr.tolist())

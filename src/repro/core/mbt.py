@@ -32,7 +32,9 @@ from repro.catalog.files import IntegrityError, piece_payload
 from repro.catalog.generator import DailyBatch
 from repro.catalog.metadata import Metadata
 from repro.catalog.server import FileServer, MetadataServer
-from repro.core import discovery, download
+from repro.core import arraycore, discovery, download
+from repro.core.arraycore import ArrayCliqueView
+from repro.core.arrays import NodeStateArrays
 from repro.core.cliqueview import CliqueView
 from repro.core.coordinator import cyclic_order, elect_coordinator
 from repro.core.node import NodeState
@@ -206,6 +208,7 @@ class MobileBitTorrent:
         config: ProtocolConfig,
         faults: Optional[FaultInjector] = None,
         perf: Optional[PerfRecorder] = None,
+        arrays: Optional[NodeStateArrays] = None,
     ) -> None:
         self._states = dict(states)
         self._metadata_server = metadata_server
@@ -214,6 +217,9 @@ class MobileBitTorrent:
         self._config = config
         self._medium = config.medium()
         self._faults = faults
+        #: Struct-of-arrays mirror of all node stores (``core="array"``);
+        #: None selects the per-object reference path.
+        self._arrays = arrays
         #: Nodes currently crashed by churn injection.
         self._down: Set[NodeId] = set()
         self.counters = EngineCounters()
@@ -415,9 +421,10 @@ class MobileBitTorrent:
             self._exchange_hellos(states, now)
             perf.stop("hellos", token)
             # One clique view serves both phases of this contact; the
-            # metadata phase patches it incrementally as records spread.
+            # metadata phase patches it incrementally as records spread
+            # (object core) or reads the live arrays (array core).
             token = perf.start()
-            view = CliqueView(states, now)
+            view = self._build_view(states, now)
             perf.stop("view_build", token)
             perf.count("view_builds")
             if self._config.variant.distributes_metadata:
@@ -427,6 +434,50 @@ class MobileBitTorrent:
             token = perf.start()
             self._run_piece_phase(states, members, now, budget.pieces, view)
             perf.stop("piece_phase", token)
+
+    def _build_view(self, states: Mapping[NodeId, NodeState], now: float):
+        """Clique view for this contact: array-backed when possible.
+
+        The array view requires the struct-of-arrays mirror to be
+        attached *and* coherent; otherwise (object core, or arrays
+        disabled by an incoherence guard) the per-object
+        :class:`CliqueView` is built as before.
+        """
+        arrays = self._arrays
+        if arrays is not None and arrays.coherent:
+            return ArrayCliqueView(arrays, states, now)
+        return CliqueView(states, now)
+
+    def _metadata_candidates(
+        self,
+        states: Mapping[NodeId, NodeState],
+        now: float,
+        include_foreign: bool,
+        view,
+    ) -> List[discovery.MetadataCandidate]:
+        """Dispatch to the vectorized builder under the array core.
+
+        If the arrays went incoherent mid-run (only adversarial state
+        can do that), the object builder runs with a fresh object view —
+        results are unchanged, only the speedup is lost.
+        """
+        if isinstance(view, ArrayCliqueView):
+            if view.soa.coherent:
+                return arraycore.build_metadata_candidates(
+                    view, states, now, include_foreign
+                )
+            return discovery.build_metadata_candidates(states, now, include_foreign, None)
+        return discovery.build_metadata_candidates(states, now, include_foreign, view)
+
+    def _piece_candidates(
+        self, states: Mapping[NodeId, NodeState], now: float, view
+    ) -> List[download.PieceCandidate]:
+        """Piece-phase twin of :meth:`_metadata_candidates`."""
+        if isinstance(view, ArrayCliqueView):
+            if view.soa.coherent:
+                return arraycore.build_piece_candidates(view, states, now)
+            return download.build_piece_candidates(states, now, None)
+        return download.build_piece_candidates(states, now, view)
 
     def _contact_budget(self, contact: Contact, scale: float = 1.0) -> ContactBudget:
         """Fixed per-contact budget, or one derived from the duration.
@@ -489,7 +540,7 @@ class MobileBitTorrent:
         if budget <= 0:
             return
         include_foreign = self._config.variant.distributes_queries
-        raw = discovery.build_metadata_candidates(states, now, include_foreign, view)
+        raw = self._metadata_candidates(states, now, include_foreign, view)
         candidates = [_MutableMetaCandidate(c) for c in raw]
         self.perf.count("meta_candidates", len(candidates))
         if not candidates:
@@ -691,7 +742,7 @@ class MobileBitTorrent:
                 self.perf.count("view_rebuilds")
             else:
                 self.perf.count("view_reuses")
-        raw = download.build_piece_candidates(states, now, view)
+        raw = self._piece_candidates(states, now, view)
         candidates = [_MutablePieceCandidate(c) for c in raw]
         self.perf.count("piece_candidates", len(candidates))
         if not candidates:

@@ -23,7 +23,10 @@ from typing import Dict, FrozenSet, Tuple
 #: Path fragments of the deterministic simulation core. DET001 (RNG)
 #: additionally covers the trace generators and the fault injector —
 #: both consume randomness, which is fine, but only through an
-#: explicitly seeded ``random.Random``.
+#: explicitly seeded ``random.Random``. The ``repro/core`` fragment
+#: deliberately covers the array core too (``core/arrays.py``,
+#: ``core/arraycore.py``): the numpy hot path is held to the same
+#: determinism rules as the object path it mirrors.
 _SIM_CORE = ("repro/core", "repro/sim", "repro/net")
 _RNG_SCOPE = _SIM_CORE + ("repro/traces", "repro/faults", "repro/catalog", "repro/routing")
 _TIME_SCOPE = _RNG_SCOPE

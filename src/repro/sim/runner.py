@@ -131,10 +131,18 @@ class SimulationConfig:
     #: timer values differ between runs, which would break the
     #: result-equality invariants (serial vs parallel, resume).
     profile: bool = False
+    #: Contact-core implementation: "object" (per-object reference
+    #: path) or "array" (struct-of-arrays numpy core, bitwise-identical
+    #: results — see docs/DETERMINISM.md). Pure implementation knob:
+    #: it is not part of the result, so fingerprints from either core
+    #: are directly comparable.
+    core: str = "object"
     #: Master seed: node roles, catalog and queries all derive from it.
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.core not in ("object", "array"):
+            raise ValueError(f"core must be 'object' or 'array', got {self.core!r}")
         if not 0.0 <= self.internet_access_fraction <= 1.0:
             raise ValueError("internet_access_fraction must be in [0, 1]")
         if not 0.0 <= self.selfish_fraction <= 1.0:
@@ -242,6 +250,14 @@ class Simulation:
             None if config.faults.is_clean() else FaultInjector(config.faults, config.seed)
         )
         self._perf = PerfRecorder(profile=config.profile)
+        # Array core: build the struct-of-arrays mirror over the (still
+        # empty) stores and attach its observers before any catalog
+        # state flows in. Raises an informative error without numpy.
+        self._arrays = None
+        if config.core == "array":
+            from repro.core.arrays import NodeStateArrays
+
+            self._arrays = NodeStateArrays.adopt(self._states)
         self._engine = MobileBitTorrent(
             self._states,
             self._metadata_server,
@@ -250,6 +266,7 @@ class Simulation:
             config.protocol_config(),
             faults=self._injector,
             perf=self._perf,
+            arrays=self._arrays,
         )
 
     def _pick_nodes(self, nodes: Sequence[NodeId], fraction: float) -> FrozenSet[NodeId]:
@@ -278,6 +295,11 @@ class Simulation:
     @property
     def engine(self) -> MobileBitTorrent:
         return self._engine
+
+    @property
+    def arrays(self):
+        """The array core's struct-of-arrays mirror (None = object core)."""
+        return self._arrays
 
     @property
     def metrics(self) -> MetricsCollector:

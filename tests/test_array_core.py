@@ -1,0 +1,267 @@
+"""Equivalence suite for the array-native contact core (``core="array"``).
+
+The numpy core must be *bitwise-equivalent* to the reference object
+core: not merely the same delivery ratios, but the same result
+fingerprint — which covers every deterministic counter and, through the
+scheduler, the iteration order of every frozenset the builders emit.
+The suite drives both cores across randomized cliques, randomized
+synthetic traces, protocol variants and fault plans, and also covers
+the guard rails: coherence fallback to the object path and the
+informative error when numpy is missing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Dict, List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import arraycore, discovery, download
+from repro.core.arraycore import ArrayCliqueView
+from repro.core.arrays import HAVE_NUMPY, MAX_PIECE_BITS, NodeStateArrays
+from repro.core.mbt import ProtocolVariant
+from repro.core.node import NodeState
+from repro.detlint.sanitizer import result_fingerprint
+from repro.faults import FaultPlan
+from repro.sim.runner import Simulation, SimulationConfig
+from repro.traces.base import Contact, ContactTrace
+from repro.types import DAY, NodeId
+
+from conftest import make_metadata, make_node, make_query, tiny_trace
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="array core needs numpy")
+
+VOCAB = ("news", "island", "desert", "finale", "sports", "weather")
+
+
+def _tokens_of(rng: random.Random) -> str:
+    return " ".join(rng.sample(VOCAB, rng.randint(2, 4)))
+
+
+def _build_clique(seed: int) -> Dict[NodeId, NodeState]:
+    """Randomized clique (mirrors test_indexed_contact_path's builder).
+
+    Registry creation is inside so two calls with the same seed yield
+    two *independent* but content-identical cliques — one for each core.
+    """
+    from repro.catalog.metadata import PublisherRegistry
+
+    registry = PublisherRegistry(master_seed=42)
+    registry.register("fox")
+    rng = random.Random(seed)
+    n_nodes = rng.randint(2, 5)
+    n_files = rng.randint(3, 8)
+    files = []
+    for i in range(n_files):
+        files.append(
+            make_metadata(
+                registry,
+                uri=f"dtn://fox/f{i:06d}",
+                name=_tokens_of(rng),
+                num_pieces=rng.randint(1, 4),
+                popularity=rng.choice((0.1, 0.3, 0.5, 0.7, 0.9)),
+                ttl=rng.choice((10.0, 1000.0)),
+            )
+        )
+    states: Dict[NodeId, NodeState] = {}
+    for i in range(n_nodes):
+        state = make_node(registry, node=i, metadata_capacity=rng.choice((None, None, 3)))
+        for record in rng.sample(files, rng.randint(0, n_files)):
+            state.accept_metadata(record, 0.0)
+        for _ in range(rng.randint(0, 2)):
+            target = rng.choice(files)
+            state.add_own_query(
+                make_query(i, target.uri, rng.sample(sorted(target.token_set), 1))
+            )
+        if rng.random() < 0.5:
+            target = rng.choice(files)
+            state.store_foreign_queries(
+                NodeId(100 + i),
+                [make_query(100 + i, target.uri, rng.sample(sorted(target.token_set), 1))],
+            )
+        for record in rng.sample(files, rng.randint(0, 2)):
+            for index in range(record.num_pieces):
+                if rng.random() < 0.6:
+                    state.pieces.add_unverified(record.uri, index)
+        states[NodeId(i)] = state
+    return states
+
+
+class TestBuilderEquivalence:
+    """Array builders equal the object builders, layout included."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000), include_foreign=st.booleans())
+    def test_metadata_candidates(self, seed, include_foreign):
+        states_obj = _build_clique(seed)
+        states_arr = _build_clique(seed)
+        now = 5.0 if seed % 2 else 50.0
+        soa = NodeStateArrays.adopt(states_arr)
+        assert soa.coherent
+        view = ArrayCliqueView(soa, states_arr, now)
+        arr = arraycore.build_metadata_candidates(view, states_arr, now, include_foreign)
+        obj = discovery.build_metadata_candidates(states_obj, now, include_foreign)
+        assert set(arr) == set(obj)
+        assert discovery.select_cooperative(arr) == discovery.select_cooperative(obj)
+        # Layout parity: equal frozensets must also *iterate* equally —
+        # broadcast receiver order and tit-for-tat weight sums depend
+        # on it (see the equivalence contract in repro.core.arraycore).
+        by_uri = {c.metadata.uri: c for c in obj}
+        for cand in arr:
+            twin = by_uri[cand.metadata.uri]
+            assert list(cand.missing) == list(twin.missing)
+            assert list(cand.own_requesters) == list(twin.own_requesters)
+            assert list(cand.proxy_requesters) == list(twin.proxy_requesters)
+            assert cand.metadata == twin.metadata
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_piece_candidates(self, seed):
+        states_obj = _build_clique(seed)
+        states_arr = _build_clique(seed)
+        now = 5.0 if seed % 2 else 50.0
+        soa = NodeStateArrays.adopt(states_arr)
+        view = ArrayCliqueView(soa, states_arr, now)
+        arr = arraycore.build_piece_candidates(view, states_arr, now)
+        obj = download.build_piece_candidates(states_obj, now)
+        assert set(arr) == set(obj)
+        assert download.select_cooperative(arr) == download.select_cooperative(obj)
+        by_key = {(c.metadata.uri, c.index): c for c in obj}
+        for cand in arr:
+            twin = by_key[(cand.metadata.uri, cand.index)]
+            assert list(cand.missing) == list(twin.missing)
+            assert list(cand.requesters) == list(twin.requesters)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_wanted_uris_and_counters(self, seed):
+        """The accelerated wanted-set matches, memo counters included."""
+        states_obj = _build_clique(seed)
+        states_arr = _build_clique(seed)
+        NodeStateArrays.adopt(states_arr)
+        now = 5.0 if seed % 2 else 50.0
+        for node, accel_state in states_arr.items():
+            plain_state = states_obj[node]
+            assert accel_state.wanted_uris(now) == plain_state.wanted_uris(now)
+            assert accel_state.wanted_cache_misses == plain_state.wanted_cache_misses
+            assert accel_state.wanted_cache_hits == plain_state.wanted_cache_hits
+            assert (
+                accel_state.metadata.index_queries == plain_state.metadata.index_queries
+            )
+
+
+def _random_trace(rng: random.Random) -> ContactTrace:
+    n_nodes = rng.randint(4, 8)
+    contacts = []
+    for _ in range(rng.randint(15, 35)):
+        start = rng.uniform(0.0, 2 * DAY)
+        size = rng.randint(2, min(4, n_nodes))
+        members = frozenset(NodeId(i) for i in rng.sample(range(n_nodes), size))
+        contacts.append(Contact(start, start + rng.uniform(30.0, 600.0), members))
+    contacts.sort(key=lambda c: (c.start, c.end, sorted(c.members)))
+    return ContactTrace(contacts, name="array-eq")
+
+
+def _random_config(rng: random.Random) -> SimulationConfig:
+    faults = None
+    if rng.random() < 0.4:
+        faults = FaultPlan(
+            loss_rate=rng.choice((0.0, 0.2)),
+            churn_rate=rng.choice((0.0, 0.05)),
+            seed=rng.randint(0, 99),
+        )
+    kwargs = dict(
+        internet_access_fraction=rng.choice((0.0, 0.4, 1.0)),
+        files_per_day=rng.randint(4, 12),
+        ttl_days=rng.choice((1.0, 3.0)),
+        metadata_per_contact=rng.randint(1, 4),
+        files_per_contact=rng.randint(1, 4),
+        pieces_per_file=rng.choice((1, 3)),
+        variant=rng.choice(list(ProtocolVariant)),
+        tit_for_tat=rng.random() < 0.5,
+        broadcast=rng.random() < 0.7,
+        metadata_capacity=rng.choice((None, None, 8)),
+        selection_policy=rng.choice(("all", "best")),
+        num_days=2,
+        seed=rng.randint(0, 999),
+    )
+    if faults is not None:
+        kwargs["faults"] = faults
+    return SimulationConfig(**kwargs)
+
+
+class TestFingerprintEquivalence:
+    """Full runs: ``core="array"`` must reproduce the exact fingerprint."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_traces_and_configs(self, seed):
+        rng = random.Random(seed)
+        trace = _random_trace(rng)
+        config = _random_config(rng)
+        obj = Simulation(trace, replace(config, core="object")).run()
+        arr = Simulation(trace, replace(config, core="array")).run()
+        assert result_fingerprint(obj) == result_fingerprint(arr)
+
+    def test_dieselnet_fast_preset(self):
+        from repro.experiments.workloads import dieselnet_base_config, dieselnet_trace
+
+        trace = dieselnet_trace("fast")
+        config = dieselnet_base_config()
+        obj = Simulation(trace, replace(config, core="object")).run()
+        sim = Simulation(trace, replace(config, core="array"))
+        arr = sim.run()
+        assert sim.arrays is not None and sim.arrays.coherent
+        assert result_fingerprint(obj) == result_fingerprint(arr)
+
+    def test_oversized_files_fall_back_coherently(self):
+        """>64-piece files flip the arrays incoherent; results still match."""
+        trace = tiny_trace()
+        config = SimulationConfig(
+            files_per_day=4, pieces_per_file=MAX_PIECE_BITS + 6, num_days=2, seed=1
+        )
+        obj = Simulation(trace, replace(config, core="object")).run()
+        sim = Simulation(trace, replace(config, core="array"))
+        arr = sim.run()
+        assert sim.arrays is not None and not sim.arrays.coherent
+        assert "pieces" in sim.arrays.incoherence_reason
+        assert result_fingerprint(obj) == result_fingerprint(arr)
+
+
+class TestCoherenceGuards:
+    def test_conflicting_copy_identity_marks_incoherent(self, registry):
+        a = make_node(registry, node=0)
+        b = make_node(registry, node=1)
+        states = {NodeId(0): a, NodeId(1): b}
+        soa = NodeStateArrays.adopt(states)
+        uri = "dtn://fox/f000001"
+        a.accept_metadata(make_metadata(registry, uri=uri, ttl=1000.0), 0.0)
+        assert soa.coherent
+        b.accept_metadata(make_metadata(registry, uri=uri, ttl=2000.0), 0.0)
+        assert not soa.coherent
+        assert uri in soa.incoherence_reason
+
+    def test_oversized_bitmap_marks_incoherent(self, registry):
+        state = make_node(registry, node=0)
+        soa = NodeStateArrays.adopt({NodeId(0): state})
+        state.pieces.add_unverified("dtn://fox/f000009", MAX_PIECE_BITS + 1)
+        assert not soa.coherent
+
+
+class TestNumpyGuard:
+    def test_missing_numpy_raises_informative_error(self, monkeypatch):
+        import repro.core.arrays as arrays_module
+
+        monkeypatch.setattr(arrays_module, "HAVE_NUMPY", False)
+        with pytest.raises(RuntimeError, match="core='object'"):
+            NodeStateArrays([NodeId(0)])
+        with pytest.raises(RuntimeError, match="numpy"):
+            Simulation(tiny_trace(), SimulationConfig(core="array"))
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValueError, match="core"):
+            SimulationConfig(core="vector")
