@@ -18,7 +18,9 @@ Quickstart
 True
 """
 
+from repro.core.credits import CREDIT_POLICIES, CreditLedger, ReputationCreditLedger
 from repro.core.mbt import MobileBitTorrent, ProtocolConfig, ProtocolVariant, SchedulingMode
+from repro.core.strategies import STRATEGY_NAMES, AdversaryPlan, Strategy, parse_mix
 from repro.exec import RunError, RunResult, RunSpec, TraceSpec, execute, run_many
 from repro.faults import FaultInjector, FaultPlan
 from repro.sim.metrics import SimulationResult
@@ -42,6 +44,13 @@ __all__ = [
     "run_many",
     "FaultInjector",
     "FaultPlan",
+    "AdversaryPlan",
+    "Strategy",
+    "STRATEGY_NAMES",
+    "parse_mix",
+    "CreditLedger",
+    "ReputationCreditLedger",
+    "CREDIT_POLICIES",
     "SimulationResult",
     "Simulation",
     "SimulationConfig",

@@ -35,6 +35,12 @@ from repro.catalog.generator import DailyBatch
 from repro.catalog.metadata import Metadata
 from repro.types import Uri
 
+#: URI namespace of every pirated mirror. Ground-truth instrumentation
+#: (never the protocol, which cannot see through a URI) uses it to
+#: recognize fake traffic, e.g. the ``adversary.fake_*_transmissions``
+#: counters in :mod:`repro.core.mbt`.
+PIRATE_URI_PREFIX = "dtn://pirate/"
+
 
 @dataclass(frozen=True)
 class FakeBatch:
@@ -52,12 +58,17 @@ class FakeFileFactory:
         seed: int = 0,
         claimed_popularity: float = 0.9,
         payload_length: int = 64,
+        tag: str = "x",
     ) -> None:
         if not 0.0 <= claimed_popularity <= 1.0:
             raise ValueError("claimed_popularity must be in [0, 1]")
         self._rng = random.Random(seed ^ 0xFA4E)
         self._claimed_popularity = claimed_popularity
         self._payload_length = payload_length
+        #: URI discriminator: factories with distinct tags can coexist
+        #: in one run (e.g. the legacy pirate and strategy polluters)
+        #: without their serial numbers minting colliding fake URIs.
+        self._tag = tag
         self._counter = 0
 
     def make_fakes(self, batch: DailyBatch, count: int) -> FakeBatch:
@@ -70,7 +81,7 @@ class FakeFileFactory:
         for real in targets:
             serial = self._counter
             self._counter += 1
-            fake_uri = Uri(f"dtn://pirate/x{serial:06d}")
+            fake_uri = Uri(f"{PIRATE_URI_PREFIX}{self._tag}{serial:06d}")
             fakes.append(
                 Metadata(
                     uri=fake_uri,

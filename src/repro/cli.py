@@ -36,7 +36,9 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.capacity import capacity_table
+from repro.core.credits import CREDIT_POLICIES
 from repro.core.mbt import ProtocolVariant
+from repro.core.strategies import AdversaryPlan, parse_mix
 from repro.exec import TRACE_CACHE_ENV, TraceSpec, build_trace
 from repro.experiments import FIGURES
 from repro.faults import FaultPlan
@@ -107,6 +109,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             churn_rate=args.churn_rate,
             seed=args.fault_seed,
         ),
+        adversaries=AdversaryPlan(
+            fraction=args.adversary_fraction,
+            mix=parse_mix(args.strategy_mix),
+            seed=args.adversary_seed,
+        ),
+        credit_policy=args.credit_policy,
         profile=args.profile,
         core=args.core,
         seed=args.seed,
@@ -139,6 +147,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{variant.value:>8}{result.metadata_delivery_ratio:>10.3f}"
             f"{result.file_delivery_ratio:>8.3f}{result.queries_generated:>9}"
         )
+    if args.adversary_fraction > 0.0:
+        for name, result in results.items():
+            print(f"\n-- {name} adversary report --")
+            print(_format_adversary_report(result))
     if args.counters or args.profile:
         from repro.exec import trace_perf_counters
         from repro.sim.metrics import format_counters
@@ -149,6 +161,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("\n-- trace pipeline counters (process-local) --")
         print(format_counters(trace_perf_counters()))
     return 0
+
+
+def _format_adversary_report(result) -> str:
+    """Adversary section of ``repro run``: census, damage, honest view."""
+    counters = result.counters
+    extra = result.extra
+    census = {
+        key[len("adversary.nodes_"):]: int(value)
+        for key, value in counters.items()
+        if key.startswith("adversary.nodes_")
+    }
+    lines = [
+        "adversarial nodes: "
+        + (
+            ", ".join(f"{name}={count}" for name, count in sorted(census.items()))
+            or "none"
+        )
+    ]
+    for key in (
+        "adversary.holdings_hidden",
+        "adversary.turns_skipped",
+        "adversary.rewards_inflated",
+        "adversary.fakes_seeded",
+        "adversary.fake_metadata_transmissions",
+        "adversary.fake_piece_transmissions",
+    ):
+        if key in counters:
+            lines.append(f"{key[len('adversary.'):]:>28}: {int(counters[key])}")
+    if "adversary.honest_file_ratio" in extra:
+        lines.append(
+            "honest-node delivery: "
+            f"metadata={extra['adversary.honest_metadata_ratio']:.3f} "
+            f"file={extra['adversary.honest_file_ratio']:.3f} "
+            f"(over {int(extra['adversary.honest_queries'])} queries)"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -256,6 +304,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-node-per-day crash probability")
     run.add_argument("--fault-seed", type=int, default=0,
                      help="seed of the fault-injection streams")
+    run.add_argument("--adversary-fraction", type=float, default=0.0,
+                     help="fraction of nodes assigned an adversarial "
+                          "strategy (0 = all honest)")
+    run.add_argument("--strategy-mix",
+                     default="exploiter,free_rider,polluter,under_reporter",
+                     help="comma-separated strategy mix, each entry NAME or "
+                          "NAME=WEIGHT (e.g. 'polluter=3,exploiter')")
+    run.add_argument("--adversary-seed", type=int, default=0,
+                     help="seed of the strategy-assignment stream")
+    run.add_argument("--credit-policy", choices=CREDIT_POLICIES,
+                     default="plain",
+                     help="tit-for-tat credit scheme: the paper's plain "
+                          "ledger or the reputation-hardened variant")
     run.add_argument("--core", choices=("object", "array"), default="object",
                      help="contact hot-path implementation: the reference "
                           "object core or the numpy array core (bitwise-"

@@ -28,6 +28,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
+from repro.catalog.adversary import PIRATE_URI_PREFIX
 from repro.catalog.files import IntegrityError, piece_payload
 from repro.catalog.generator import DailyBatch
 from repro.catalog.metadata import Metadata
@@ -38,6 +39,7 @@ from repro.core.arrays import NodeStateArrays
 from repro.core.cliqueview import CliqueView
 from repro.core.coordinator import cyclic_order, elect_coordinator
 from repro.core.node import NodeState
+from repro.core.strategies import AdversaryState
 from repro.faults import FaultInjector, corrupt_payload
 from repro.net.medium import BroadcastMedium, ContactBudget, PairwiseMedium, TransmissionMedium
 from repro.perf import PerfRecorder
@@ -209,6 +211,7 @@ class MobileBitTorrent:
         faults: Optional[FaultInjector] = None,
         perf: Optional[PerfRecorder] = None,
         arrays: Optional[NodeStateArrays] = None,
+        adversary: Optional[AdversaryState] = None,
     ) -> None:
         self._states = dict(states)
         self._metadata_server = metadata_server
@@ -217,6 +220,10 @@ class MobileBitTorrent:
         self._config = config
         self._medium = config.medium()
         self._faults = faults
+        #: Active adversary population (strategy assignment + counters);
+        #: None on the honest path — every strategy hook below then
+        #: reduces to the node's default honest profile.
+        self._adversary = adversary
         #: Struct-of-arrays mirror of all node stores (``core="array"``);
         #: None selects the per-object reference path.
         self._arrays = arrays
@@ -519,11 +526,61 @@ class MobileBitTorrent:
         if not self._config.variant.distributes_queries:
             return
         for node, state in states.items():
-            if state.selfish:
+            if state.selfish or not state.strategy.carries_queries:
                 continue  # free-riders do not carry anyone's queries
             for peer, peer_state in states.items():
                 if peer != node and peer in state.frequent_contacts:
                     state.store_foreign_queries(peer, peer_state.own_queries(now))
+
+    def _screen_rejected(self, candidates, states: Mapping[NodeId, NodeState]) -> None:
+        """Receiver-side pollution screen (reputation credit policy).
+
+        A rejected fake is never stored, so it re-enters the candidate
+        pool as "missing everywhere" at every later contact and taxes
+        the clique's channel budget forever. Under the reputation
+        policy a node that has *first-hand* seen a URI fail
+        verification (``NodeState.rejected_uris``) refuses to be a
+        transmission target for it again: such nodes are dropped from
+        the candidate's ``missing`` set, so a fake stops being sendable
+        once every reachable member has rejected it, while the
+        polluter's honest service is left untouched. Runs on the
+        mutable scheduler copies, like :meth:`_hide_holdings`, so
+        object/array parity is preserved; under the plain policy (and
+        in clean runs) every screening set is empty and nothing changes.
+        """
+        screeners = [
+            (node, state.rejected_uris)
+            for node, state in states.items()
+            if state.credits.policy != "plain" and state.rejected_uris
+        ]
+        if not screeners:
+            return
+        for cand in candidates:
+            uri = cand.metadata.uri
+            for node, rejected in screeners:
+                if uri in rejected:
+                    cand.missing.discard(node)
+
+    def _hide_holdings(self, candidates) -> None:
+        """Apply under-reporting to freshly built candidates.
+
+        A hider claims not to hold the record/piece: it is moved from
+        every candidate's ``holders`` into ``missing``, so it is never
+        picked as a sender and even baits peers into wasting channel
+        budget re-sending it items it secretly holds (the duplicate
+        earns the sender nothing). Runs on the *mutable* scheduler
+        copies, after the per-core builders agreed on their output, so
+        object/array parity is untouched; hiders are visited in sorted
+        order to keep the mutated sets' layout history deterministic.
+        """
+        adversary = self._adversary
+        if adversary is None or not adversary.hiders:
+            return
+        for cand in candidates:
+            for node in sorted(adversary.hiders & cand.holders):
+                cand.holders.discard(node)
+                cand.missing.add(node)
+                adversary.count("holdings_hidden")
 
     # -- metadata phase ------------------------------------------------------------
 
@@ -542,6 +599,8 @@ class MobileBitTorrent:
         include_foreign = self._config.variant.distributes_queries
         raw = self._metadata_candidates(states, now, include_foreign, view)
         candidates = [_MutableMetaCandidate(c) for c in raw]
+        self._hide_holdings(candidates)
+        self._screen_rejected(candidates, states)
         self.perf.count("meta_candidates", len(candidates))
         if not candidates:
             return
@@ -562,8 +621,10 @@ class MobileBitTorrent:
             cand.metadata.uri,
         )
 
-    def _meta_tft_key(self, cand: _MutableMetaCandidate, sender: NodeState) -> Tuple:
-        weight = sender.credits.weight_of_requesters(cand.requesters)
+    def _meta_tft_key(
+        self, cand: _MutableMetaCandidate, sender: NodeState, now: float
+    ) -> Tuple:
+        weight = sender.credits.weight_of_requesters(cand.requesters, now)
         phase = 0 if (cand.own_requesters or cand.proxy_requesters) else 1
         return (-weight, phase, -cand.metadata.popularity, cand.metadata.uri)
 
@@ -608,7 +669,9 @@ class MobileBitTorrent:
             sender_id = order[position % len(order)]
             position += 1
             sender = states[sender_id]
-            if sender.selfish:
+            if sender.selfish or not sender.strategy.serves:
+                if self._adversary is not None and not sender.strategy.serves:
+                    self._adversary.count("turns_skipped")
                 idle_turns += 1
                 continue
             # Lazy top-k: heapify the sender's candidates and pop until
@@ -616,7 +679,7 @@ class MobileBitTorrent:
             # so the pop order equals the former full sort's order while
             # usually materializing only the first element.
             heap = [
-                (self._meta_tft_key(c, sender), c)
+                (self._meta_tft_key(c, sender, now), c)
                 for c in candidates
                 if sender_id in c.holders and c.missing
             ]
@@ -638,7 +701,13 @@ class MobileBitTorrent:
     def _senders_of(
         self, cand: _MutableMetaCandidate, states: Mapping[NodeId, NodeState]
     ) -> List[NodeId]:
-        return [n for n in cand.holders if not states[n].selfish] if cand.missing else []
+        if not cand.missing:
+            return []
+        return [
+            n
+            for n in cand.holders
+            if not states[n].selfish and states[n].strategy.serves
+        ]
 
     def _transmit_metadata(
         self,
@@ -664,11 +733,19 @@ class MobileBitTorrent:
         self.counters.metadata_transmissions += 1
         self._metrics.count_metadata_transmission(len(receivers))
         record = cand.metadata
+        # The popularity the sender *claims* for this broadcast; only
+        # exploiter strategies raise it above the signed record value.
+        claimed = record.popularity
+        if self._adversary is not None:
+            claimed = self._adversary.claimed_popularity(sender, record.popularity)
+            if record.uri.startswith(PIRATE_URI_PREFIX):
+                self._adversary.count("fake_metadata_transmissions")
         for receiver in receivers:
             state = states[receiver]
             requested = any(q.matches(record) for q in state.own_queries(now))
             mutations_before = state.metadata.mutations
             evictions_before = state.metadata.evictions
+            rejected_before = state.stats.metadata_rejected_auth
             new = state.accept_metadata(record, now)
             if view is not None:
                 if state.metadata.evictions != evictions_before:
@@ -680,16 +757,25 @@ class MobileBitTorrent:
             if new:
                 self._metrics.on_metadata(receiver, record.uri, now)
                 if requested:
-                    state.credits.reward_requested(sender)
+                    state.credits.reward_requested(sender, now)
                 else:
-                    state.credits.reward_unrequested(sender, record.popularity)
+                    state.credits.reward_unrequested(
+                        sender, record.popularity, now, claimed=claimed
+                    )
+            elif state.stats.metadata_rejected_auth > rejected_before:
+                # The record failed signature verification in the
+                # receiver's hands: first-hand evidence against the
+                # sender (no-op under the plain credit policy).
+                state.credits.penalize(sender, now)
             cand.missing.discard(receiver)
             cand.own_requesters.discard(receiver)
             cand.proxy_requesters.discard(receiver)
             cand.holders.add(receiver)
         return True
 
-    def _unchoked(self, sender: NodeState, receivers: FrozenSet[NodeId]) -> FrozenSet[NodeId]:
+    def _unchoked(
+        self, sender: NodeState, receivers: FrozenSet[NodeId], now: float = 0.0
+    ) -> FrozenSet[NodeId]:
         """Receivers that get the decryption key (§IV-B future work).
 
         A receiver is unchoked when its credit with the sender strictly
@@ -708,7 +794,7 @@ class MobileBitTorrent:
             return receivers
         threshold = self._config.choke_credit_threshold
         return frozenset(
-            r for r in receivers if sender.credits.credit_of(r) > threshold
+            r for r in receivers if sender.credits.effective_credit(r, now) > threshold
         )
 
     @staticmethod
@@ -744,6 +830,8 @@ class MobileBitTorrent:
                 self.perf.count("view_reuses")
         raw = self._piece_candidates(states, now, view)
         candidates = [_MutablePieceCandidate(c) for c in raw]
+        self._hide_holdings(candidates)
+        self._screen_rejected(candidates, states)
         self.perf.count("piece_candidates", len(candidates))
         if not candidates:
             return
@@ -764,8 +852,10 @@ class MobileBitTorrent:
             cand.index,
         )
 
-    def _piece_tft_key(self, cand: _MutablePieceCandidate, sender: NodeState) -> Tuple:
-        weight = sender.credits.weight_of_requesters(cand.requesters)
+    def _piece_tft_key(
+        self, cand: _MutablePieceCandidate, sender: NodeState, now: float
+    ) -> Tuple:
+        weight = sender.credits.weight_of_requesters(cand.requesters, now)
         phase = 0 if cand.requesters else 1
         return (-weight, phase, -cand.metadata.popularity, cand.uri, cand.index)
 
@@ -806,13 +896,21 @@ class MobileBitTorrent:
             sender_id = order[position % len(order)]
             position += 1
             sender = states[sender_id]
-            if sender.selfish:
+            if (
+                sender.selfish
+                or not sender.strategy.serves
+                or not sender.strategy.serves_pieces
+            ):
+                if self._adversary is not None and not (
+                    sender.strategy.serves and sender.strategy.serves_pieces
+                ):
+                    self._adversary.count("turns_skipped")
                 idle_turns += 1
                 continue
             # Lazy top-k, as in the metadata cyclic loop: unique rank
             # keys make heap-pop order equal the former full sort.
             heap = [
-                (self._piece_tft_key(c, sender), c)
+                (self._piece_tft_key(c, sender, now), c)
                 for c in candidates
                 if sender_id in c.holders and c.missing
             ]
@@ -836,7 +934,15 @@ class MobileBitTorrent:
     def _piece_senders(
         self, cand: _MutablePieceCandidate, states: Mapping[NodeId, NodeState]
     ) -> List[NodeId]:
-        return [n for n in cand.holders if not states[n].selfish] if cand.missing else []
+        if not cand.missing:
+            return []
+        return [
+            n
+            for n in cand.holders
+            if not states[n].selfish
+            and states[n].strategy.serves
+            and states[n].strategy.serves_pieces
+        ]
 
     def _transmit_piece(
         self,
@@ -855,7 +961,7 @@ class MobileBitTorrent:
         if not receivers:
             return False
         if self._config.encrypted_choking:
-            unchoked = self._unchoked(states[sender], receivers)
+            unchoked = self._unchoked(states[sender], receivers, now)
             self.counters.choked_sends += len(receivers) - len(unchoked)
             receivers = unchoked
             if not receivers:
@@ -871,6 +977,11 @@ class MobileBitTorrent:
         record = cand.metadata
         payload = piece_payload(record.uri, cand.index, self._config.payload_length)
         checksum = record.checksums[cand.index]
+        claimed = record.popularity
+        if self._adversary is not None:
+            claimed = self._adversary.claimed_popularity(sender, record.popularity)
+            if record.uri.startswith(PIRATE_URI_PREFIX):
+                self._adversary.count("fake_piece_transmissions")
         newly_interested: List[NodeId] = []
         for receiver in receivers:
             state = states[receiver]
@@ -878,7 +989,9 @@ class MobileBitTorrent:
                 # The whole frame is garbage: the piggybacked metadata
                 # is unusable and checksum verification rejects the
                 # piece, so the receiver keeps needing it (stays in
-                # ``missing`` and ``requesters``).
+                # ``missing`` and ``requesters``). The receiver cannot
+                # tell channel corruption from a malicious sender and
+                # blames the sender (no-op under plain credits).
                 try:
                     state.accept_piece(
                         record.uri, cand.index, corrupt_payload(payload), checksum, now
@@ -886,20 +999,28 @@ class MobileBitTorrent:
                 except IntegrityError:
                     assert self._faults is not None
                     self._faults.count("corrupt_receipts")
+                    state.credits.penalize(sender, now)
                 continue
             wanted_before = record.uri in state.wanted_uris(now)
+            rejected_before = state.stats.metadata_rejected_auth
             # Pieces carry their metadata so receivers can verify them;
             # under MBT-QM this piggyback is how metadata spread at all.
             if state.accept_metadata(record, now):
                 self._metrics.on_metadata(receiver, record.uri, now)
                 if record.uri in state.wanted_uris(now) and not wanted_before:
                     newly_interested.append(receiver)
+            elif state.stats.metadata_rejected_auth > rejected_before:
+                # Piggybacked metadata failed signature verification:
+                # first-hand evidence against the sender.
+                state.credits.penalize(sender, now)
             new = state.accept_piece(record.uri, cand.index, payload, checksum, now)
             if new:
                 if wanted_before or receiver in newly_interested:
-                    state.credits.reward_requested(sender)
+                    state.credits.reward_requested(sender, now)
                 else:
-                    state.credits.reward_unrequested(sender, record.popularity)
+                    state.credits.reward_unrequested(
+                        sender, record.popularity, now, claimed=claimed
+                    )
                 if state.pieces.is_complete(record.uri, record.num_pieces):
                     state.stats.files_completed += 1
                     self._metrics.on_file_complete(receiver, record.uri, now)

@@ -22,7 +22,8 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 from repro.catalog.files import IntegrityError, PieceStore
 from repro.catalog.metadata import Metadata, PublisherRegistry, verify_metadata
 from repro.catalog.query import Query
-from repro.core.credits import CreditLedger
+from repro.core.credits import make_ledger
+from repro.core.strategies import HONEST, Strategy
 from repro.types import NodeId, Uri
 
 
@@ -290,6 +291,8 @@ class NodeState:
         payload_length: int = 64,
         verify_signatures: bool = True,
         selection_policy: str = "all",
+        strategy: Optional[Strategy] = None,
+        credit_policy: str = "plain",
     ) -> None:
         if piece_capacity is not None and piece_capacity < 1:
             raise ValueError("piece_capacity must be >= 1 or None")
@@ -301,10 +304,21 @@ class NodeState:
         self.registry = registry
         self.verify_signatures = verify_signatures
         self.selection_policy = selection_policy
+        #: Behavior profile consulted by the protocol engine; honest
+        #: unless an :class:`~repro.core.strategies.AdversaryPlan`
+        #: assigned this node otherwise.
+        self.strategy = HONEST if strategy is None else strategy
         self.metadata = MetadataStore(metadata_capacity, metadata_policy)
         self.pieces = PieceStore(payload_length)
         self.piece_capacity = piece_capacity
-        self.credits = CreditLedger(node)
+        self.credits = make_ledger(credit_policy, node)
+        #: URIs whose metadata failed verification in this node's own
+        #: hands. First-hand evidence of forgery: under the reputation
+        #: credit policy the engine stops targeting this node with them
+        #: (see ``MobileBitTorrent._screen_rejected``), so an evergreen
+        #: fake stops taxing the clique's budget after one exposure.
+        #: Like the credit ledger, this judgment survives :meth:`wipe`.
+        self.rejected_uris: Set[Uri] = set()
         self.stats = NodeStats()
         self._own_queries: List[Query] = []
         #: Queries of frequent contacts, stored under full MBT.
@@ -549,6 +563,7 @@ class NodeState:
         """
         if self.verify_signatures and not verify_metadata(metadata, self.registry):
             self.stats.metadata_rejected_auth += 1
+            self.rejected_uris.add(metadata.uri)
             return False
         if not metadata.is_live(now):
             return False

@@ -24,10 +24,12 @@ cheap to pickle and each worker builds any distinct trace exactly once.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
-from repro.exec import TraceSpec
-from repro.experiments.sweep import SweepResult, run_sweep
+from repro.core.mbt import ProtocolVariant
+from repro.core.strategies import AdversaryPlan
+from repro.exec import RunSpec, TraceSpec, run_many
+from repro.experiments.sweep import SweepPoint, SweepResult, run_sweep
 from repro.experiments.workloads import (
     Scale,
     dieselnet_base_config,
@@ -45,6 +47,17 @@ PER_CONTACT_BUDGETS = (1, 2, 4, 7, 10)
 ATTENDANCE_RATES = (0.2, 0.4, 0.6, 0.8, 1.0)
 #: Robustness sweep (beyond the paper): per-receiver transmission loss.
 LOSS_RATES = (0.0, 0.1, 0.2, 0.3, 0.5)
+#: Robustness sweep (beyond the paper): fraction of adversarial nodes.
+ADVERSARY_FRACTIONS = (0.0, 0.15, 0.3, 0.45)
+#: Threat mix of the adversarial panel: dominated by polluters — the
+#: verifiable offence the reputation defense can actually neutralize —
+#: with exploiters gaming the credit scheme on the side. (Free-riders
+#: and under-reporters simply withhold capacity, which no credit
+#: scheme can restore; mixing them in only dilutes the comparison.)
+FIGROBUST_MIX: Tuple[Tuple[str, float], ...] = (
+    ("exploiter", 1.0),
+    ("polluter", 3.0),
+)
 
 
 def _sweep_access(config: SimulationConfig, x: float, seed: int) -> SimulationConfig:
@@ -300,6 +313,89 @@ def figloss(
     )
 
 
+def figrobust(
+    scale: Scale = "fast", seeds: Sequence[int] = (1,), jobs: int = 1
+) -> SweepResult:
+    """Robustness panel (beyond the paper): delivery vs adversary fraction.
+
+    Sweeps the fraction of adversarial nodes (:data:`FIGROBUST_MIX`,
+    assigned by a seed-frozen :class:`~repro.core.strategies.AdversaryPlan`)
+    against four series — protocol variant × credit policy — on the
+    DieselNet trace with tit-for-tat and encrypted choking on:
+
+    * ``mbt+tft`` / ``mbt_qm+tft``: the paper's plain §IV-B credits,
+      which trust every claim and pay for every novel item. Delivery
+      among the *honest* population collapses as the adversary fraction
+      grows (polluters tax every contact's budget with evergreen fakes,
+      exploiters farm credit with inflated popularity claims).
+    * ``mbt+rep`` / ``mbt_qm+rep``: the reputation-hardened ledger
+      (:class:`~repro.core.credits.ReputationCreditLedger`): failed
+      verifications and over-claims are penalized, low-reputation peers
+      are discounted everywhere, and first-hand-rejected URIs stop
+      being transmission targets — honest delivery degrades gracefully
+      instead.
+
+    The y values are delivery ratios over the honest, non-access
+    population (``adversary.honest_*``; at fraction 0 the plan is clean
+    and the global ratios are used — the populations coincide). The
+    default seed is 1: with ``fast``-scale traces (20 buses) the
+    per-fraction adversary count moves in steps of 3, so some single
+    seeds draw non-monotone assignments; averaging several seeds
+    smooths any of them.
+    """
+    variants = (ProtocolVariant.MBT, ProtocolVariant.MBT_QM)
+    policies = (("tft", "plain"), ("rep", "reputation"))
+    series = [
+        (f"{variant.value.replace('-', '_')}+{label}", variant, policy)
+        for variant in variants
+        for label, policy in policies
+    ]
+    base = dieselnet_base_config()
+    specs: List[RunSpec] = []
+    for x in ADVERSARY_FRACTIONS:
+        for name, variant, policy in series:
+            for seed in seeds:
+                config = replace(
+                    base.with_variant(variant),
+                    seed=seed,
+                    tit_for_tat=True,
+                    encrypted_choking=True,
+                    credit_policy=policy,
+                    adversaries=AdversaryPlan(fraction=x, mix=FIGROBUST_MIX, seed=1),
+                )
+                specs.append(
+                    RunSpec(
+                        trace=TraceSpec.of(dieselnet_trace, scale, seed),
+                        config=config,
+                        tag=RunSpec.make_tag(x=float(x), series=name, seed=int(seed)),
+                    )
+                )
+    runs = iter(run_many(specs, jobs=jobs))
+    points: List[SweepPoint] = []
+    for x in ADVERSARY_FRACTIONS:
+        cell: Dict[str, Tuple[float, float]] = {}
+        for name, __, ___ in series:
+            metas, files = [], []
+            for __ in seeds:
+                result = next(runs).result
+                extra = result.extra
+                if "adversary.honest_file_ratio" in extra:
+                    metas.append(extra["adversary.honest_metadata_ratio"])
+                    files.append(extra["adversary.honest_file_ratio"])
+                else:
+                    metas.append(result.metadata_delivery_ratio)
+                    files.append(result.file_delivery_ratio)
+            cell[name] = (sum(metas) / len(metas), sum(files) / len(files))
+        points.append(SweepPoint(x=float(x), ratios=cell))
+    return SweepResult(
+        name="Robustness DieselNet — adversary fraction (honest-node delivery)",
+        x_label="adversary fraction",
+        x_values=tuple(float(x) for x in ADVERSARY_FRACTIONS),
+        points=tuple(points),
+        protocols=tuple(name for name, __, ___ in series),
+    )
+
+
 #: Registry used by the benchmark suite and the figure-runner example.
 FIGURES: Dict[str, Callable[..., SweepResult]] = {
     "fig2a": fig2a,
@@ -314,4 +410,5 @@ FIGURES: Dict[str, Callable[..., SweepResult]] = {
     "fig3e": fig3e,
     "fig3f": fig3f,
     "figloss": figloss,
+    "figrobust": figrobust,
 }

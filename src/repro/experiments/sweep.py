@@ -83,18 +83,25 @@ class SweepResult:
         return self.series(protocol).file_ratios
 
     def format_table(self) -> str:
-        """Render the panel as an aligned text table."""
+        """Render the panel as an aligned text table.
+
+        Column width grows with the longest series label (the paper's
+        three protocol names fit the historic 12, so their panels render
+        byte-identically; robustness panels label series
+        ``variant+credit-policy`` and need more room).
+        """
+        width = max(12, *(len(p) + 6 for p in self.protocols))
         header = [f"{self.x_label:>24}"]
         for protocol in self.protocols:
-            header.append(f"{protocol + ' meta':>12}")
-            header.append(f"{protocol + ' file':>12}")
+            header.append(f"{protocol + ' meta':>{width}}")
+            header.append(f"{protocol + ' file':>{width}}")
         lines = [f"== {self.name} ==", "".join(header)]
         for point in self.points:
             row = [f"{point.x:>24.3g}"]
             for protocol in self.protocols:
                 meta, file_ratio = point.ratios[protocol]
-                row.append(f"{meta:>12.3f}")
-                row.append(f"{file_ratio:>12.3f}")
+                row.append(f"{meta:>{width}.3f}")
+                row.append(f"{file_ratio:>{width}.3f}")
             lines.append("".join(row))
         return "\n".join(lines)
 

@@ -72,6 +72,19 @@ COUNTER_KEYS: Tuple[str, ...] = (
     "faults.corrupt_receipts",
     "faults.crashes",
     "faults.rebirths",
+    # Adversarial-strategy counters (present only when a run has a
+    # non-clean AdversaryPlan; honest runs omit them entirely). The
+    # ``nodes_*`` entries record the seeded strategy assignment.
+    "adversary.holdings_hidden",
+    "adversary.turns_skipped",
+    "adversary.rewards_inflated",
+    "adversary.fakes_seeded",
+    "adversary.fake_metadata_transmissions",
+    "adversary.fake_piece_transmissions",
+    "adversary.nodes_exploiter",
+    "adversary.nodes_free_rider",
+    "adversary.nodes_polluter",
+    "adversary.nodes_under_reporter",
     # The PYTHONHASHSEED the run executed under (-1 = unpinned); see
     # repro.detlint.hashseed. Recorded by the runner so the detcheck
     # sanitizer can verify the environment's pin reached the run.
@@ -245,14 +258,23 @@ class MetricsCollector:
             if r.access_node == access_node and r.file_delivered_at is not None
         )
 
-    def ratios_for(self, nodes: "set[NodeId] | frozenset[NodeId]") -> Tuple[float, float, int]:
+    def ratios_for(
+        self,
+        nodes: "set[NodeId] | frozenset[NodeId]",
+        measure_from: Optional[float] = None,
+    ) -> Tuple[float, float, int]:
         """(metadata ratio, file ratio, query count) over a node subset.
 
         Used for per-group analyses (e.g. cooperative vs free-rider
-        delivery under tit-for-tat choking). Counts every query whose
-        issuing node is in ``nodes`` regardless of access status.
+        delivery under tit-for-tat choking, or honest-node delivery
+        under an adversary plan). Counts every query whose issuing node
+        is in ``nodes`` regardless of access status; ``measure_from``
+        (if given) applies the same warm-up exclusion as the headline
+        ratios, the default keeps the historical all-queries behavior.
         """
         records = [r for r in self._records if r.query.node in nodes]
+        if measure_from is not None:
+            records = [r for r in records if r.query.created_at >= measure_from]
         if not records:
             return (0.0, 0.0, 0)
         meta = sum(1 for r in records if r.metadata_delivered)

@@ -25,8 +25,10 @@ from repro.catalog.generator import CatalogConfig, CatalogGenerator
 from repro.catalog.metadata import PublisherRegistry
 from repro.catalog.popularity import PopularityTracker
 from repro.catalog.server import FileServer, MetadataServer
+from repro.core.credits import CREDIT_POLICIES
 from repro.core.mbt import MobileBitTorrent, ProtocolConfig, ProtocolVariant, SchedulingMode
 from repro.core.node import NodeState
+from repro.core.strategies import AdversaryPlan, AdversaryState
 from repro.faults import FaultInjector, FaultPlan
 from repro.net.medium import ContactBudget
 from repro.perf import PerfRecorder
@@ -123,6 +125,13 @@ class SimulationConfig:
     #: Deterministic fault injection (loss, corruption, flapping,
     #: churn); the default all-zero plan changes nothing.
     faults: FaultPlan = field(default_factory=FaultPlan)
+    #: Deterministic adversarial-strategy assignment (free-riders,
+    #: under-reporters, polluters, tit-for-tat exploiters); the default
+    #: clean plan changes nothing.
+    adversaries: AdversaryPlan = field(default_factory=AdversaryPlan)
+    #: Credit scheme: "plain" (the paper's §IV-B tit-for-tat ledger) or
+    #: "reputation" (first-hand reputation-hardened variant).
+    credit_policy: str = "plain"
     #: Safety valve: abort (SimulationError) if a run executes more
     #: than this many events. None = unbounded.
     max_events: Optional[int] = None
@@ -159,6 +168,11 @@ class SimulationConfig:
             raise ValueError("malicious_fraction must be in [0, 1]")
         if self.fake_files_per_day < 0:
             raise ValueError("fake_files_per_day must be non-negative")
+        if self.credit_policy not in CREDIT_POLICIES:
+            raise ValueError(
+                f"credit_policy must be one of {CREDIT_POLICIES}, "
+                f"got {self.credit_policy!r}"
+            )
 
     def protocol_config(self) -> ProtocolConfig:
         return ProtocolConfig(
@@ -207,6 +221,15 @@ class Simulation:
         self._access_nodes = self._pick_nodes(nodes, config.internet_access_fraction)
         self._selfish_nodes = self._pick_nodes(nodes, config.selfish_fraction)
         self._malicious_nodes = self._pick_nodes(nodes, config.malicious_fraction)
+        # The adversary assignment draws from its own SHA-256-derived
+        # stream, never from self._rng: activating a plan must not
+        # perturb the role picks above. A clean plan builds no state at
+        # all, keeping the honest path bitwise identical.
+        self._adversary = (
+            None
+            if config.adversaries.is_clean()
+            else AdversaryState(config.adversaries, nodes, config.seed)
+        )
 
         registry = PublisherRegistry(config.seed)
         self._registry = registry
@@ -221,6 +244,12 @@ class Simulation:
                 piece_capacity=config.piece_capacity,
                 verify_signatures=config.verify_signatures,
                 selection_policy=config.selection_policy,
+                strategy=(
+                    self._adversary.strategy_of(node)
+                    if self._adversary is not None
+                    else None
+                ),
+                credit_policy=config.credit_policy,
             )
             for node in nodes
         }
@@ -242,6 +271,15 @@ class Simulation:
         self._fake_factory = (
             FakeFileFactory(seed=config.seed)
             if config.fake_files_per_day > 0 and self._malicious_nodes
+            else None
+        )
+        # Strategy polluters get their own factory (distinct URI tag +
+        # derived seed) so they can coexist with the legacy pirate path.
+        self._polluter_factory = (
+            FakeFileFactory(seed=self._adversary.polluter_factory_seed, tag="p")
+            if self._adversary is not None
+            and self._adversary.polluters
+            and config.adversaries.polluter_fakes_per_day > 0
             else None
         )
         # A clean plan builds no injector at all, keeping the fault-free
@@ -267,6 +305,7 @@ class Simulation:
             faults=self._injector,
             perf=self._perf,
             arrays=self._arrays,
+            adversary=self._adversary,
         )
 
     def _pick_nodes(self, nodes: Sequence[NodeId], fraction: float) -> FrozenSet[NodeId]:
@@ -287,6 +326,16 @@ class Simulation:
     @property
     def malicious_nodes(self) -> FrozenSet[NodeId]:
         return self._malicious_nodes
+
+    @property
+    def adversary(self) -> Optional[AdversaryState]:
+        """The active adversary state (None under a clean plan)."""
+        return self._adversary
+
+    @property
+    def adversary_nodes(self) -> FrozenSet[NodeId]:
+        """Nodes assigned a non-honest strategy by the adversary plan."""
+        return self._adversary.nodes if self._adversary is not None else frozenset()
 
     @property
     def states(self) -> Dict[NodeId, NodeState]:
@@ -365,6 +414,7 @@ class Simulation:
             "access_nodes": float(len(self._access_nodes)),
             "selfish_nodes": float(len(self._selfish_nodes)),
             "malicious_nodes": float(len(self._malicious_nodes)),
+            "adversary_nodes": float(len(self.adversary_nodes)),
             "events": float(sim.events_executed),
             # The hash seed this run executed under (-1 = unpinned).
             # Recorded so detcheck (and post-hoc result forensics) can
@@ -373,6 +423,21 @@ class Simulation:
             # across serial, parallel and resumed executions.
             "detcheck.pythonhashseed": float(hash_seed_value()),
         }
+        if self._adversary is not None:
+            # Honest-population delivery: the figrobust panel's y-axis.
+            # Adversaries' own queries are excluded — a free-rider that
+            # starves itself is not protocol degradation.
+            honest = frozenset(
+                node
+                for node in self._states
+                if node not in self._adversary.nodes and node not in self._access_nodes
+            )
+            meta_ratio, file_ratio, count = self._metrics.ratios_for(
+                honest, measure_from=self._metrics.measure_from
+            )
+            extra["adversary.honest_metadata_ratio"] = meta_ratio
+            extra["adversary.honest_file_ratio"] = file_ratio
+            extra["adversary.honest_queries"] = float(count)
         extra.update(self._instrumentation(sim))
         return self._metrics.result(extra)
 
@@ -408,6 +473,11 @@ class Simulation:
         if self._injector is not None:
             for name, value in self._injector.counters.items():
                 counters[f"faults.{name}"] = float(value)
+        if self._adversary is not None:
+            for name, value in self._adversary.counters.items():
+                counters[f"adversary.{name}"] = float(value)
+            for name, value in self._adversary.nodes_by_strategy().items():
+                counters[f"adversary.nodes_{name}"] = float(value)
         for name, value in self._perf_counters().items():
             counters[name] = float(value)
         return counters
@@ -440,6 +510,7 @@ class Simulation:
                 "internet_access": state.internet_access,
                 "selfish": state.selfish,
                 "malicious": node in self._malicious_nodes,
+                "strategy": state.strategy.name,
                 "metadata_stored": len(state.metadata),
                 "pieces_stored": state.pieces.total_pieces(),
                 "credit_granted": state.credits.total_granted(),
@@ -459,14 +530,28 @@ class Simulation:
         return action
 
     def _inject_fakes(self, batch, noon: float) -> None:
-        """Seed today's fake mirrors into the pirate nodes (§I attack)."""
-        if self._fake_factory is None:
-            return
-        fakes = self._fake_factory.make_fakes(
-            batch, self.config.fake_files_per_day
-        )
+        """Seed today's fake mirrors into the pirate nodes (§I attack).
+
+        Two independent pirate populations can be live at once: the
+        legacy ``malicious_fraction`` nodes and the adversary plan's
+        polluters; each draws from its own factory and URI namespace.
+        """
+        if self._fake_factory is not None:
+            fakes = self._fake_factory.make_fakes(
+                batch, self.config.fake_files_per_day
+            )
+            self._seed_fakes(fakes, sorted(self._malicious_nodes))
+        if self._polluter_factory is not None:
+            assert self._adversary is not None
+            fakes = self._polluter_factory.make_fakes(
+                batch, self.config.adversaries.polluter_fakes_per_day
+            )
+            self._seed_fakes(fakes, sorted(self._adversary.polluters))
+            self._adversary.count("fakes_seeded", len(fakes.metadata))
+
+    def _seed_fakes(self, fakes, pirates) -> None:
         for fake in fakes.metadata:
-            for node in sorted(self._malicious_nodes):
+            for node in pirates:
                 state = self._states[node]
                 # Pirates store their own fabrications unverified and
                 # hold the full fake content, ready to serve it.

@@ -25,6 +25,7 @@ from repro.core.arraycore import ArrayCliqueView
 from repro.core.arrays import HAVE_NUMPY, MAX_PIECE_BITS, NodeStateArrays
 from repro.core.mbt import ProtocolVariant
 from repro.core.node import NodeState
+from repro.core.strategies import AdversaryPlan
 from repro.detlint.sanitizer import result_fingerprint
 from repro.faults import FaultPlan
 from repro.sim.runner import Simulation, SimulationConfig
@@ -166,12 +167,24 @@ def _random_trace(rng: random.Random) -> ContactTrace:
     return ContactTrace(contacts, name="array-eq")
 
 
+#: Every non-honest strategy, for adversarial equivalence draws.
+ADVERSARIAL = ("exploiter", "free_rider", "polluter", "under_reporter")
+
+
 def _random_config(rng: random.Random) -> SimulationConfig:
     faults = None
     if rng.random() < 0.4:
         faults = FaultPlan(
             loss_rate=rng.choice((0.0, 0.2)),
             churn_rate=rng.choice((0.0, 0.05)),
+            seed=rng.randint(0, 99),
+        )
+    adversaries = None
+    if rng.random() < 0.4:
+        names = rng.sample(ADVERSARIAL, rng.randint(1, 3))
+        adversaries = AdversaryPlan(
+            fraction=rng.choice((0.25, 0.5)),
+            mix=tuple(sorted((name, 1.0) for name in names)),
             seed=rng.randint(0, 99),
         )
     kwargs = dict(
@@ -186,11 +199,14 @@ def _random_config(rng: random.Random) -> SimulationConfig:
         broadcast=rng.random() < 0.7,
         metadata_capacity=rng.choice((None, None, 8)),
         selection_policy=rng.choice(("all", "best")),
+        credit_policy=rng.choice(("plain", "reputation")),
         num_days=2,
         seed=rng.randint(0, 999),
     )
     if faults is not None:
         kwargs["faults"] = faults
+    if adversaries is not None:
+        kwargs["adversaries"] = adversaries
     return SimulationConfig(**kwargs)
 
 
@@ -203,6 +219,31 @@ class TestFingerprintEquivalence:
         rng = random.Random(seed)
         trace = _random_trace(rng)
         config = _random_config(rng)
+        obj = Simulation(trace, replace(config, core="object")).run()
+        arr = Simulation(trace, replace(config, core="array")).run()
+        assert result_fingerprint(obj) == result_fingerprint(arr)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        name=st.sampled_from(ADVERSARIAL),
+        policy=st.sampled_from(("plain", "reputation")),
+    )
+    def test_every_strategy_matches(self, seed, name, policy):
+        """Each strategy alone, under both credit policies: exact parity.
+
+        Strategy effects run on the shared scheduler layer after the
+        per-core builders, so adversarial runs must stay bitwise
+        equivalent between cores just like honest ones.
+        """
+        rng = random.Random(seed)
+        trace = _random_trace(rng)
+        config = replace(
+            _random_config(rng),
+            adversaries=AdversaryPlan(fraction=0.5, mix=((name, 1.0),), seed=seed % 7),
+            credit_policy=policy,
+            tit_for_tat=True,
+        )
         obj = Simulation(trace, replace(config, core="object")).run()
         arr = Simulation(trace, replace(config, core="array")).run()
         assert result_fingerprint(obj) == result_fingerprint(arr)

@@ -91,7 +91,7 @@ class TestFigureRegistry:
         expected = {
             "fig2a", "fig2b", "fig2c", "fig2d", "fig2e",
             "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f",
-            "figloss",
+            "figloss", "figrobust",
         }
         assert set(FIGURES) == expected
 

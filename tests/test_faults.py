@@ -172,6 +172,65 @@ class TestChurnSchedule:
                 assert at >= prev_rebirth  # never crash while already down
 
 
+class _ScriptedRng:
+    """Stand-in RNG replaying a fixed ``random()`` sequence (then 1.0)."""
+
+    def __init__(self, values: Sequence[float]) -> None:
+        self._values = list(values)
+
+    def random(self) -> float:
+        return self._values.pop(0) if self._values else 1.0
+
+
+class TestChurnScheduleEdgeCases:
+    """Boundary behavior of churn: t=0 crashes, overlap, long downtime."""
+
+    def test_crash_at_exact_time_zero(self):
+        # Rate draw 0.0 (< churn_rate -> crash) then time draw 0.0:
+        # the very first instant of the simulation is a legal crash
+        # time and must not be skipped by the down-until bookkeeping.
+        injector = FaultInjector(
+            FaultPlan(churn_rate=0.5, churn_downtime_days=0.25), run_seed=0
+        )
+        injector._rng_churn = _ScriptedRng([0.0, 0.0])
+        schedule = injector.churn_schedule([NodeId(3)], 1)
+        assert schedule == [(NodeId(3), 0.0, 0.25 * DAY)]
+
+    def test_repeated_churn_same_node_non_overlapping(self):
+        # Day 0: crash at 0.1 d, down until 0.35 d. Day 1: crash at
+        # 1.5 d — past the rebirth, so both events survive, in order.
+        injector = FaultInjector(
+            FaultPlan(churn_rate=1.0, churn_downtime_days=0.25), run_seed=0
+        )
+        injector._rng_churn = _ScriptedRng([0.0, 0.1, 0.0, 0.5])
+        schedule = injector.churn_schedule([NodeId(1)], 2)
+        assert len(schedule) == 2
+        (n1, at1, re1), (n2, at2, re2) = schedule
+        assert n1 == n2 == NodeId(1)
+        assert at1 == pytest.approx(0.1 * DAY)
+        assert at2 == pytest.approx(1.5 * DAY)
+        assert at2 >= re1
+
+    def test_repeated_churn_same_node_overlapping_is_skipped(self):
+        # Downtime of 2 days swallows day 1's draw (1.2 d < 2.1 d):
+        # the second crash would land while already down and is skipped.
+        injector = FaultInjector(
+            FaultPlan(churn_rate=1.0, churn_downtime_days=2.0), run_seed=0
+        )
+        injector._rng_churn = _ScriptedRng([0.0, 0.1, 0.0, 0.2])
+        schedule = injector.churn_schedule([NodeId(1)], 2)
+        assert len(schedule) == 1
+        assert schedule[0][0] == NodeId(1)
+
+    def test_rebirth_past_sim_end_leaves_node_down(self):
+        # Downtime far beyond the horizon: every node crashes once and
+        # no rebirth event ever fires inside the run.
+        plan = FaultPlan(churn_rate=1.0, churn_downtime_days=100.0)
+        result = Simulation(small_trace(), small_config(faults=plan)).run()
+        assert result.counters["faults.crashes"] > 0
+        assert result.counters["faults.rebirths"] == 0
+
+
 class TestContactBudgetScaled:
     def test_identity_scale_returns_self(self):
         budget = ContactBudget(3, 3)
