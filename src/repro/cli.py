@@ -147,6 +147,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{variant.value:>8}{result.metadata_delivery_ratio:>10.3f}"
             f"{result.file_delivery_ratio:>8.3f}{result.queries_generated:>9}"
         )
+        if args.core == "array":
+            print(f"         {_format_sched_report(result)}")
     if args.adversary_fraction > 0.0:
         for name, result in results.items():
             print(f"\n-- {name} adversary report --")
@@ -161,6 +163,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("\n-- trace pipeline counters (process-local) --")
         print(format_counters(trace_perf_counters()))
     return 0
+
+
+def _format_sched_report(result) -> str:
+    """One-line vectorized-vs-fallback report for ``--core array``.
+
+    Reads the ``perf.sched.*`` counters so a coherence fallback (the
+    array mirror desynced and the object loops ran instead) is visible
+    at a glance rather than silently masquerading as a perf regression.
+    """
+    extra = result.extra
+
+    def n(key: str) -> int:
+        return int(extra.get(f"perf.sched.{key}", 0))
+
+    meta_vec, meta_obj = n("meta_vectorized"), n("meta_object")
+    piece_vec, piece_obj = n("piece_vectorized"), n("piece_object")
+    fallbacks = n("meta_builder_fallback") + n("piece_builder_fallback")
+    line = (
+        f"sched: metadata {meta_vec} vectorized / {meta_obj} object, "
+        f"pieces {piece_vec} vectorized / {piece_obj} object"
+    )
+    if fallbacks:
+        line += f", {fallbacks} coherence fallbacks"
+    return line
 
 
 def _format_adversary_report(result) -> str:

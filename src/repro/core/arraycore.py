@@ -48,6 +48,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
 from repro.catalog.files import bit_indices
 from repro.core import discovery, download
 from repro.core.arrays import NodeStateArrays, _np as np
+from repro.core.coordinator import cyclic_order, elect_coordinator
 from repro.core.node import NodeState
 from repro.types import NodeId, Uri
 
@@ -65,13 +66,23 @@ class ArrayCliqueView:
     builders re-read the arrays fresh either way.
     """
 
-    __slots__ = ("soa", "states", "now", "members_sorted", "_rows_sorted", "_dirty", "rebuilds")
+    __slots__ = (
+        "soa",
+        "states",
+        "now",
+        "members_sorted",
+        "_rows_sorted",
+        "_dirty",
+        "_live",
+        "rebuilds",
+    )
 
     def __init__(
         self,
         soa: NodeStateArrays,
         states: Mapping[NodeId, NodeState],
         now: float,
+        live: Optional["np.ndarray"] = None,
     ) -> None:
         self.soa = soa
         self.states = states
@@ -83,6 +94,11 @@ class ArrayCliqueView:
             count=len(self.members_sorted),
         )
         self._dirty = False
+        #: Optional precomputed record-liveness vector
+        #: (``expires_at[:size] > now``), shared across the views of one
+        #: same-instant contact batch. Purely an evaluation cache: the
+        #: values are bitwise those :meth:`held_live` would compute.
+        self._live = live
         self.rebuilds = 0
 
     def held_live(self) -> "np.ndarray":
@@ -90,7 +106,11 @@ class ArrayCliqueView:
         soa = self.soa
         size = soa.size
         pop = soa.pop[self._rows_sorted, :size]
-        live = soa.expires_at[:size] > self.now
+        live = self._live
+        if live is None or live.shape[0] != size:
+            # No batch cache, or new URIs were interned since it was
+            # computed (the cache owner re-keys on size): evaluate fresh.
+            live = soa.expires_at[:size] > self.now
         return (pop >= 0.0) & live[None, :]
 
     def pop_sub(self) -> "np.ndarray":
@@ -263,3 +283,525 @@ def build_piece_candidates(
                 )
             )
     return candidates
+
+
+# -- scheduling kernel ---------------------------------------------------------
+#
+# The builders above vectorized candidate *construction*; the classes
+# and loop drivers below vectorize candidate *scheduling* — the
+# per-turn ranking, sender election and budget accounting that
+# ``MobileBitTorrent``'s object loops perform with Python tuple keys
+# and heaps. The kernel keeps the mutable candidate objects (and the
+# engine's ``_transmit_*`` methods operating on them) fully
+# authoritative: ranking state lives in per-candidate column arrays
+# that are *resynced from the mutated Python sets* after every
+# successful transmission. Selection uses ``np.lexsort`` over the
+# eligible rows — the rank keys are unique (URI / piece-index
+# tie-break), so the lexsort's first element equals the object loop's
+# ``min()`` / first heap pop, with no float equality anywhere.
+#
+# Bitwise equivalence notes (the contract tests/test_array_core.py
+# enforces):
+#
+# * Tit-for-tat requester weights are accumulated column-by-column in
+#   ascending member order, reproducing ``weight_of_requesters``'s
+#   canonical ``sorted(requesters)`` summation term for term (float
+#   addition is non-associative, so the *order* is part of the
+#   contract; see repro/core/credits.py).
+# * Budget, idle-turn, turn-skip and candidate-removal semantics are
+#   copied line for line from the object loops, including the
+#   coordinator's "failed transmission still consumed the slot" rule.
+# * The piece loops pass the engine the *original candidate list* and
+#   mirror the object path's ``list.remove`` calls on it, so
+#   ``_transmit_piece``'s newly-interested sibling scan sees exactly
+#   the object path's list state.
+
+#: Module-level switch for the vectorized scheduling loops. The
+#: scheduler benchmark flips it off to measure the prior array core
+#: (vectorized builders + object scheduling) as its baseline. Not a
+#: config knob: both settings are bitwise-identical by contract, so
+#: there is nothing to select per run.
+SCHED_KERNEL_ENABLED = True
+
+
+def sched_kernel_ready(view: object) -> bool:
+    """Whether the vectorized scheduling loops can drive this view."""
+    return SCHED_KERNEL_ENABLED and isinstance(view, ArrayCliqueView)
+
+
+def _serves_vector(
+    states: Mapping[NodeId, NodeState], members_sorted: Sequence[NodeId], pieces: bool
+) -> "np.ndarray":
+    """Bool vector over sorted members: willing to serve (this phase)."""
+    flags = []
+    for node in members_sorted:
+        state = states[node]
+        ok = (not state.selfish) and state.strategy.serves
+        if pieces:
+            ok = ok and state.strategy.serves_pieces
+        flags.append(ok)
+    return np.array(flags, dtype=bool)
+
+
+def _membership_matrix(
+    sets: Sequence, members_sorted: Sequence[NodeId]
+) -> "np.ndarray":
+    """Bool matrix ``[len(sets) x len(members)]`` of set membership.
+
+    Filled column by column with ``np.fromiter`` — cliques are small
+    (a handful of members) while candidate lists run into the hundreds,
+    so a few long fills beat building a Python list-of-lists and
+    converting it.
+    """
+    n = len(sets)
+    mat = np.empty((n, len(members_sorted)), dtype=bool)
+    for j, node in enumerate(members_sorted):
+        mat[:, j] = np.fromiter((node in s for s in sets), dtype=bool, count=n)
+    return mat
+
+
+class _MetaColumns:
+    """Column-array mirror of the mutable metadata candidates.
+
+    One row per candidate, one column per sorted clique member. The
+    candidate objects stay the source of truth — transmissions mutate
+    their sets exactly as on the object path — and :meth:`resync`
+    rebuilds a row from those sets after each successful send, so the
+    arrays are always consistent at ranking time.
+    """
+
+    __slots__ = (
+        "members",
+        "cands",
+        "n",
+        "alive",
+        "ready",
+        "holders",
+        "reqmask",
+        "own_count",
+        "proxy_count",
+        "static_sub",
+        "static_key",
+        "coord_key",
+    )
+
+    def __init__(self, members_sorted: List[NodeId], cands: Sequence) -> None:
+        self.members = members_sorted
+        self.cands = list(cands)
+        n = self.n = len(self.cands)
+        nm = len(members_sorted)
+        self.alive = np.ones(n, dtype=bool)
+        # Builders can emit rows nobody in the clique is missing (e.g. a
+        # polluter holding its own fakes), mirroring the object loops'
+        # live ``c.missing`` filter; resync/deactivate maintain the mask.
+        self.ready = np.fromiter(
+            (bool(c.missing) for c in self.cands), dtype=bool, count=n
+        )
+        self.holders = _membership_matrix([c.holders for c in self.cands], members_sorted)
+        own_sets = [c.own_requesters for c in self.cands]
+        proxy_sets = [c.proxy_requesters for c in self.cands]
+        self.reqmask = np.empty((n, nm), dtype=bool)
+        for j, node in enumerate(members_sorted):
+            self.reqmask[:, j] = np.fromiter(
+                (node in o or node in p for o, p in zip(own_sets, proxy_sets)),
+                dtype=bool,
+                count=n,
+            )
+        self.own_count = np.fromiter(
+            (len(s) for s in own_sets), dtype=np.int64, count=n
+        )
+        self.proxy_count = np.fromiter(
+            (len(s) for s in proxy_sets), dtype=np.int64, count=n
+        )
+        neg_pop = np.fromiter(
+            (-c.metadata.popularity for c in self.cands), dtype=np.float64, count=n
+        )
+        # Unique integer tie-break equal to the URI's sort rank: integer
+        # lexsort keys stand in for the object keys' string comparison.
+        rank = {
+            uri: r
+            for r, uri in enumerate(sorted(c.metadata.uri for c in self.cands))
+        }
+        tie = np.fromiter(
+            (rank[c.metadata.uri] for c in self.cands), dtype=np.int64, count=n
+        )
+        # Collapse the immutable key suffix (-pop, uri) into its sort
+        # rank, then fold the mutable prefixes on top as integer
+        # composites — one ranking key each instead of four/five, so a
+        # turn costs one argmin / two-key lexsort (keys are unique, so
+        # lexicographic order is preserved exactly):
+        #   static_key = (phase, -pop, uri)               [cyclic suffix]
+        #   coord_key  = (phase, -own, -proxy, -pop, uri) [coordinator]
+        order = np.lexsort((tie, neg_pop))
+        static_sub = np.empty(n, dtype=np.int64)
+        static_sub[order] = np.arange(n, dtype=np.int64)
+        self.static_sub = static_sub
+        no_req = (self.own_count + self.proxy_count) == 0
+        self.static_key = no_req * n + static_sub
+        base = (no_req * (nm + 1) + (nm - self.own_count)) * (nm + 1) + (
+            nm - self.proxy_count
+        )
+        self.coord_key = base * n + static_sub
+
+    def deactivate(self, i: int) -> None:
+        """Retire row ``i`` from every eligibility mask."""
+        self.alive[i] = False
+        self.ready[i] = False
+
+    def resync(self, i: int) -> None:
+        """Rebuild row ``i`` from its candidate's (mutated) sets."""
+        cand = self.cands[i]
+        members = self.members
+        own = cand.own_requesters
+        proxy = cand.proxy_requesters
+        self.holders[i] = [node in cand.holders for node in members]
+        self.reqmask[i] = [node in own or node in proxy for node in members]
+        oc = len(own)
+        pc = len(proxy)
+        self.own_count[i] = oc
+        self.proxy_count[i] = pc
+        self.ready[i] = bool(self.alive[i]) and bool(cand.missing)
+        nm = len(members)
+        no_req = oc + pc == 0
+        sub = int(self.static_sub[i])
+        self.static_key[i] = (self.n if no_req else 0) + sub
+        base = ((nm + 1 if no_req else 0) + (nm - oc)) * (nm + 1) + (nm - pc)
+        self.coord_key[i] = base * self.n + sub
+
+    def neg_requester_weights(
+        self, sender: NodeState, now: float, rows: "np.ndarray"
+    ) -> Optional["np.ndarray"]:
+        """Negated tit-for-tat requester weights for the selected rows.
+
+        Accumulates the sender's per-member weight vector column by
+        column in ascending member order — term for term the object
+        path's ``weight_of_requesters`` over ``sorted(requesters)``, so
+        the sums are bitwise identical despite float addition being
+        non-associative. Each term is negated *before* accumulation:
+        IEEE rounding commutes with negation, so the running sum equals
+        the negation of the object path's running sum at every step,
+        and the result ranks like the object key's ``-weight``.
+
+        Zero-valued terms are skipped — adding ``±0.0`` to the running
+        sum never changes its bits here (the sum starts at ``+0.0`` and
+        ``+0.0 + -0.0 == +0.0``) — and when every term is zero the
+        method returns ``None``: all keys tie at zero, so ranking falls
+        through to the static key alone.
+        """
+        wvec = sender.credits.requester_weight_vector(self.members, now)
+        negw = None
+        req = None
+        for j, w in enumerate(wvec):
+            if w:
+                if req is None:
+                    req = self.reqmask[rows]
+                    negw = np.zeros(rows.shape[0], dtype=np.float64)
+                negw[req[:, j]] += -w
+        return negw
+
+
+class _PieceColumns:
+    """Piece-phase twin of :class:`_MetaColumns`.
+
+    Adds the requester column pair, the URI group id used to resync
+    same-file siblings after a send (``_transmit_piece`` may add
+    newly-interested receivers to their requester sets), and the live
+    candidate-list mirror handed to the engine so its sibling scan sees
+    the object path's exact list state.
+    """
+
+    __slots__ = (
+        "members",
+        "cands",
+        "live_list",
+        "n",
+        "alive",
+        "ready",
+        "holders",
+        "req",
+        "req_count",
+        "static_sub",
+        "static_key",
+        "coord_key",
+        "gid",
+    )
+
+    def __init__(self, members_sorted: List[NodeId], cands: List) -> None:
+        self.members = members_sorted
+        self.cands = list(cands)
+        #: The engine-visible list (the very object the caller built);
+        #: :meth:`kill` removes from it exactly where the object loops
+        #: call ``candidates.remove``.
+        self.live_list = cands
+        n = self.n = len(self.cands)
+        nm = len(members_sorted)
+        self.alive = np.ones(n, dtype=bool)
+        self.holders = _membership_matrix([c.holders for c in self.cands], members_sorted)
+        req_sets = [c.requesters for c in self.cands]
+        self.req = _membership_matrix(req_sets, members_sorted)
+        self.req_count = np.fromiter(
+            (len(s) for s in req_sets), dtype=np.int64, count=n
+        )
+        # Rows nobody is missing (e.g. a polluter's own fakes) start
+        # not-ready, mirroring the object loops' live ``c.missing`` filter.
+        self.ready = np.fromiter(
+            (bool(c.missing) for c in self.cands), dtype=bool, count=n
+        )
+        neg_pop = np.fromiter(
+            (-c.metadata.popularity for c in self.cands), dtype=np.float64, count=n
+        )
+        pair_rank = {
+            pair: r
+            for r, pair in enumerate(sorted((c.uri, c.index) for c in self.cands))
+        }
+        tie = np.fromiter(
+            (pair_rank[(c.uri, c.index)] for c in self.cands),
+            dtype=np.int64,
+            count=n,
+        )
+        # Composite integer ranking keys, as in _MetaColumns:
+        #   static_key = (phase, -pop, uri, index)        [cyclic suffix]
+        #   coord_key  = (phase, -req, -pop, uri, index)  [coordinator]
+        order = np.lexsort((tie, neg_pop))
+        static_sub = np.empty(n, dtype=np.int64)
+        static_sub[order] = np.arange(n, dtype=np.int64)
+        self.static_sub = static_sub
+        no_req = self.req_count == 0
+        self.static_key = no_req * n + static_sub
+        self.coord_key = (no_req * (nm + 1) + (nm - self.req_count)) * n + static_sub
+        gid_of = {uri: g for g, uri in enumerate(sorted({c.uri for c in self.cands}))}
+        self.gid = np.fromiter(
+            (gid_of[c.uri] for c in self.cands), dtype=np.int64, count=n
+        )
+
+    def kill(self, i: int) -> None:
+        """Retire row ``i`` and mirror the object path's list removal."""
+        self.alive[i] = False
+        self.ready[i] = False
+        self.live_list.remove(self.cands[i])
+
+    def _resync_requesters(self, j: int, requesters) -> None:
+        rc = len(requesters)
+        self.req[j] = [node in requesters for node in self.members]
+        self.req_count[j] = rc
+        nm = len(self.members)
+        sub = int(self.static_sub[j])
+        if rc == 0:
+            self.static_key[j] = self.n + sub
+            self.coord_key[j] = ((nm + 1) + nm) * self.n + sub
+        else:
+            self.static_key[j] = sub
+            self.coord_key[j] = (nm - rc) * self.n + sub
+
+    def resync_after_transmit(self, i: int) -> None:
+        """Resync the sent row and its same-URI siblings' requesters."""
+        cand = self.cands[i]
+        self.holders[i] = [node in cand.holders for node in self.members]
+        self._resync_requesters(i, cand.requesters)
+        self.ready[i] = bool(self.alive[i]) and bool(cand.missing)
+        # Other pieces of the same file may have gained requesters from
+        # the engine's newly-interested scan; their holder/missing sets
+        # are untouched by a sibling's transmission.
+        for j in np.nonzero(self.alive & (self.gid == self.gid[i]))[0].tolist():
+            if j == i:
+                continue
+            self._resync_requesters(j, self.cands[j].requesters)
+
+    def neg_requester_weights(
+        self, sender: NodeState, now: float, rows: "np.ndarray"
+    ) -> Optional["np.ndarray"]:
+        """See :meth:`_MetaColumns.neg_requester_weights`."""
+        wvec = sender.credits.requester_weight_vector(self.members, now)
+        negw = None
+        req = None
+        for j, w in enumerate(wvec):
+            if w:
+                if req is None:
+                    req = self.req[rows]
+                    negw = np.zeros(rows.shape[0], dtype=np.float64)
+                negw[req[:, j]] += -w
+        return negw
+
+
+def run_metadata_coordinator(
+    engine,
+    states: Mapping[NodeId, NodeState],
+    members: FrozenSet[NodeId],
+    candidates: List,
+    budget: int,
+    now: float,
+    view: ArrayCliqueView,
+) -> None:
+    """Array twin of ``MobileBitTorrent._metadata_coordinator_loop``."""
+    cols = _MetaColumns(sorted(states), candidates)
+    serves = _serves_vector(states, cols.members, pieces=False)
+    elect_coordinator(members)
+    for __ in range(budget):
+        sendable = cols.ready & (cols.holders & serves).any(axis=1)
+        idxs = np.nonzero(sendable)[0]
+        if idxs.size == 0:
+            break
+        # coord_key is the integer composite of the object loop's
+        # _meta_key = (phase, -own, -proxy, -pop, uri); unique, so its
+        # argmin is exactly min(sendable).
+        i = int(idxs[np.argmin(cols.coord_key[idxs])])
+        cand = cols.cands[i]
+        # First willing holder in ascending member order == min(senders).
+        sender = cols.members[int(np.argmax(cols.holders[i] & serves))]
+        if not engine._transmit_metadata(states, members, cand, sender, now, view):
+            # The failed attempt still consumed this budget slot.
+            cols.deactivate(i)
+            continue
+        cols.resync(i)
+        if not cand.missing:
+            cols.deactivate(i)
+
+
+def run_metadata_cyclic(
+    engine,
+    states: Mapping[NodeId, NodeState],
+    members: FrozenSet[NodeId],
+    candidates: List,
+    budget: int,
+    now: float,
+    view: ArrayCliqueView,
+) -> None:
+    """Array twin of ``MobileBitTorrent._metadata_cyclic_loop``."""
+    cols = _MetaColumns(sorted(states), candidates)
+    col_of = {node: j for j, node in enumerate(cols.members)}
+    order = cyclic_order(members)
+    adversary = engine._adversary
+    spent = 0
+    idle_turns = 0
+    position = 0
+    while spent < budget and idle_turns < len(order):
+        sender_id = order[position % len(order)]
+        position += 1
+        sender = states[sender_id]
+        if sender.selfish or not sender.strategy.serves:
+            if adversary is not None and not sender.strategy.serves:
+                adversary.count("turns_skipped")
+            idle_turns += 1
+            continue
+        eligible = cols.ready & cols.holders[:, col_of[sender_id]]
+        idxs = np.nonzero(eligible)[0]
+        sent = False
+        if idxs.size:
+            # _meta_tft_key = (-weight, phase, -pop, uri): the negated
+            # weight ranks first, static_key composes the rest. Keys
+            # are fixed at turn start, like the object heap's. All-zero
+            # weights (None) leave static_key as the whole key.
+            negw = cols.neg_requester_weights(sender, now, idxs)
+            if negw is None:
+                ranked = np.argsort(cols.static_key[idxs])
+            else:
+                ranked = np.lexsort((cols.static_key[idxs], negw))
+            for t in ranked.tolist():
+                i = int(idxs[t])
+                cand = cols.cands[i]
+                sent = engine._transmit_metadata(
+                    states, members, cand, sender_id, now, view
+                )
+                if sent:
+                    cols.resync(i)
+                if not cand.missing:
+                    cols.deactivate(i)
+                if sent:
+                    break
+        if sent:
+            spent += 1
+            idle_turns = 0
+        else:
+            idle_turns += 1
+
+
+def run_piece_coordinator(
+    engine,
+    states: Mapping[NodeId, NodeState],
+    members: FrozenSet[NodeId],
+    candidates: List,
+    budget: int,
+    now: float,
+) -> None:
+    """Array twin of ``MobileBitTorrent._piece_coordinator_loop``."""
+    cols = _PieceColumns(sorted(states), candidates)
+    serves = _serves_vector(states, cols.members, pieces=True)
+    elect_coordinator(members)
+    for __ in range(budget):
+        sendable = cols.ready & (cols.holders & serves).any(axis=1)
+        idxs = np.nonzero(sendable)[0]
+        if idxs.size == 0:
+            break
+        # coord_key composes _piece_key = (phase, -req, -pop, uri, index).
+        i = int(idxs[np.argmin(cols.coord_key[idxs])])
+        cand = cols.cands[i]
+        sender = cols.members[int(np.argmax(cols.holders[i] & serves))]
+        if not engine._transmit_piece(
+            states, members, cols.live_list, cand, sender, now
+        ):
+            # Choked or receiver-less: slot consumed, candidate retired.
+            cols.kill(i)
+            continue
+        cols.resync_after_transmit(i)
+        if not cand.missing:
+            cols.kill(i)
+
+
+def run_piece_cyclic(
+    engine,
+    states: Mapping[NodeId, NodeState],
+    members: FrozenSet[NodeId],
+    candidates: List,
+    budget: int,
+    now: float,
+) -> None:
+    """Array twin of ``MobileBitTorrent._piece_cyclic_loop``."""
+    cols = _PieceColumns(sorted(states), candidates)
+    col_of = {node: j for j, node in enumerate(cols.members)}
+    order = cyclic_order(members)
+    adversary = engine._adversary
+    spent = 0
+    idle_turns = 0
+    position = 0
+    while spent < budget and idle_turns < len(order):
+        sender_id = order[position % len(order)]
+        position += 1
+        sender = states[sender_id]
+        if (
+            sender.selfish
+            or not sender.strategy.serves
+            or not sender.strategy.serves_pieces
+        ):
+            if adversary is not None and not (
+                sender.strategy.serves and sender.strategy.serves_pieces
+            ):
+                adversary.count("turns_skipped")
+            idle_turns += 1
+            continue
+        eligible = cols.ready & cols.holders[:, col_of[sender_id]]
+        idxs = np.nonzero(eligible)[0]
+        sent = False
+        if idxs.size:
+            # _piece_tft_key = (-weight, phase, -pop, uri, index).
+            negw = cols.neg_requester_weights(sender, now, idxs)
+            if negw is None:
+                ranked = np.argsort(cols.static_key[idxs])
+            else:
+                ranked = np.lexsort((cols.static_key[idxs], negw))
+            for t in ranked.tolist():
+                i = int(idxs[t])
+                cand = cols.cands[i]
+                sent = engine._transmit_piece(
+                    states, members, cols.live_list, cand, sender_id, now
+                )
+                if sent:
+                    cols.resync_after_transmit(i)
+                if not cand.missing:
+                    cols.kill(i)
+                if sent:
+                    break
+        if sent:
+            spent += 1
+            idle_turns = 0
+        else:
+            idle_turns += 1

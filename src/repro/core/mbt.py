@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.catalog.adversary import PIRATE_URI_PREFIX
 from repro.catalog.files import IntegrityError, piece_payload
@@ -139,6 +139,9 @@ class EngineCounters:
 
     #: Trace contacts handled by :meth:`MobileBitTorrent.handle_contact`.
     contacts_processed: int = 0
+    #: Same-instant contact batches dispatched via
+    #: :meth:`MobileBitTorrent.handle_contacts` (<= contacts).
+    contact_batches: int = 0
     #: Communication cliques processed (>= contacts when hello-derived).
     cliques_processed: int = 0
     #: Hello beacons exchanged (one per node per clique).
@@ -155,6 +158,7 @@ class EngineCounters:
     def as_dict(self) -> Dict[str, int]:
         return {
             "contacts_processed": self.contacts_processed,
+            "contact_batches": self.contact_batches,
             "cliques_processed": self.cliques_processed,
             "hello_exchanges": self.hello_exchanges,
             "metadata_transmissions": self.metadata_transmissions,
@@ -229,6 +233,10 @@ class MobileBitTorrent:
         self._arrays = arrays
         #: Nodes currently crashed by churn injection.
         self._down: Set[NodeId] = set()
+        #: Same-instant batch scratch (``[size, live-vector]``), active
+        #: only inside :meth:`handle_contacts`: lets every clique view
+        #: of one trace instant share the record-liveness evaluation.
+        self._batch_cache: Optional[List[object]] = None
         self.counters = EngineCounters()
         #: ``perf.*`` instrumentation; counters are always collected,
         #: wall-clock timers only when the recorder profiles.
@@ -398,6 +406,24 @@ class MobileBitTorrent:
 
     # ------------------------------------------------------------------ contacts
 
+    def handle_contacts(self, contacts: Sequence[Contact], now: float) -> None:
+        """Process every contact sharing one trace instant as a batch.
+
+        Contacts are handled in order with semantics identical to
+        calling :meth:`handle_contact` once per contact; the batch seam
+        exists so instant-wide work is shared. Under the array core the
+        global record-liveness vector (``expires_at > now``) is
+        evaluated once per instant (re-keyed only when new URIs are
+        interned mid-batch) instead of once per clique view.
+        """
+        self.counters.contact_batches += 1
+        self._batch_cache = [-1, None]
+        try:
+            for contact in contacts:
+                self.handle_contact(contact, now)
+        finally:
+            self._batch_cache = None
+
     def handle_contact(self, contact: Contact, now: float) -> None:
         """Process one contact: hellos, discovery phase, download phase."""
         self.counters.contacts_processed += 1
@@ -452,7 +478,17 @@ class MobileBitTorrent:
         """
         arrays = self._arrays
         if arrays is not None and arrays.coherent:
-            return ArrayCliqueView(arrays, states, now)
+            live = None
+            cache = self._batch_cache
+            if cache is not None:
+                if cache[0] != arrays.size:
+                    cache[0] = arrays.size
+                    cache[1] = arrays.expires_at[: arrays.size] > now
+                    self.perf.count("sched.live_recomputes")
+                else:
+                    self.perf.count("sched.live_reuses")
+                live = cache[1]
+            return ArrayCliqueView(arrays, states, now, live=live)
         return CliqueView(states, now)
 
     def _metadata_candidates(
@@ -473,6 +509,7 @@ class MobileBitTorrent:
                 return arraycore.build_metadata_candidates(
                     view, states, now, include_foreign
                 )
+            self.perf.count("sched.meta_builder_fallback")
             return discovery.build_metadata_candidates(states, now, include_foreign, None)
         return discovery.build_metadata_candidates(states, now, include_foreign, view)
 
@@ -483,6 +520,7 @@ class MobileBitTorrent:
         if isinstance(view, ArrayCliqueView):
             if view.soa.coherent:
                 return arraycore.build_piece_candidates(view, states, now)
+            self.perf.count("sched.piece_builder_fallback")
             return download.build_piece_candidates(states, now, None)
         return download.build_piece_candidates(states, now, view)
 
@@ -606,6 +644,23 @@ class MobileBitTorrent:
             return
 
         mode = self._config.effective_scheduling()
+        # Scheduling dispatch: the vectorized kernel ranks with column
+        # arrays, the object loops with tuple keys — bitwise-identical
+        # by contract. The ``perf.sched.*`` counters record which path
+        # ran (they are excluded from result fingerprints for exactly
+        # that reason) so silent fallbacks are visible, not inferred.
+        if arraycore.sched_kernel_ready(view):
+            self.perf.count("sched.meta_vectorized")
+            if mode is SchedulingMode.COORDINATOR:
+                arraycore.run_metadata_coordinator(
+                    self, states, members, candidates, budget, now, view
+                )
+            else:
+                arraycore.run_metadata_cyclic(
+                    self, states, members, candidates, budget, now, view
+                )
+            return
+        self.perf.count("sched.meta_object")
         if mode is SchedulingMode.COORDINATOR:
             self._metadata_coordinator_loop(states, members, candidates, budget, now, view)
         else:
@@ -641,11 +696,18 @@ class MobileBitTorrent:
         # knowledge it always schedules the globally best candidate.
         elect_coordinator(members)
         for __ in range(budget):
-            sendable = [c for c in candidates if self._senders_of(c, states)]
+            # One sender scan per candidate per turn; the rank keys are
+            # unique (URI tie-break), so min() over (key, cand, senders)
+            # tuples never compares past the key.
+            sendable = []
+            for c in candidates:
+                senders = self._senders_of(c, states)
+                if senders:
+                    sendable.append((self._meta_key(c), c, senders))
             if not sendable:
                 break
-            best = min(sendable, key=self._meta_key)
-            sender = min(self._senders_of(best, states))
+            __key, best, senders = min(sendable)
+            sender = min(senders)
             if not self._transmit_metadata(states, members, best, sender, now, view):
                 candidates.remove(best)
                 continue
@@ -837,6 +899,18 @@ class MobileBitTorrent:
             return
 
         mode = self._config.effective_scheduling()
+        if arraycore.sched_kernel_ready(view):
+            self.perf.count("sched.piece_vectorized")
+            if mode is SchedulingMode.COORDINATOR:
+                arraycore.run_piece_coordinator(
+                    self, states, members, candidates, budget, now
+                )
+            else:
+                arraycore.run_piece_cyclic(
+                    self, states, members, candidates, budget, now
+                )
+            return
+        self.perf.count("sched.piece_object")
         if mode is SchedulingMode.COORDINATOR:
             self._piece_coordinator_loop(states, members, candidates, budget, now)
         else:
@@ -869,11 +943,18 @@ class MobileBitTorrent:
     ) -> None:
         elect_coordinator(members)
         for __ in range(budget):
-            sendable = [c for c in candidates if self._piece_senders(c, states)]
+            # One sender scan per candidate per turn (see the metadata
+            # coordinator loop); keys are unique via the (uri, index)
+            # tie-break.
+            sendable = []
+            for c in candidates:
+                senders = self._piece_senders(c, states)
+                if senders:
+                    sendable.append((self._piece_key(c), c, senders))
             if not sendable:
                 break
-            best = min(sendable, key=self._piece_key)
-            sender = min(self._piece_senders(best, states))
+            __key, best, senders = min(sendable)
+            sender = min(senders)
             if not self._transmit_piece(states, members, candidates, best, sender, now):
                 candidates.remove(best)
                 continue

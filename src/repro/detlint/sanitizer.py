@@ -49,8 +49,12 @@ from repro.traces.base import ContactTrace
 DETCHECK_ENV = "REPRO_DETCHECK"
 
 #: ``extra`` keys excluded from fingerprints: wall-clock phase timers
-#: differ between the two runs by construction.
-FINGERPRINT_IGNORED_PREFIXES: Tuple[str, ...] = ("perf.time_us.",)
+#: differ between the two runs by construction, and the scheduling-
+#: dispatch counters (``perf.sched.*``) record *which implementation*
+#: ran (vectorized kernel vs object loops, liveness-cache reuse) — by
+#: the array core's equivalence contract they are the only counters
+#: allowed to differ between two bitwise-identical results.
+FINGERPRINT_IGNORED_PREFIXES: Tuple[str, ...] = ("perf.time_us.", "perf.sched.")
 
 
 class DeterminismError(RuntimeError):

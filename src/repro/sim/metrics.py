@@ -50,6 +50,7 @@ COUNTER_KEYS: Tuple[str, ...] = (
     "events_sync",
     "events_contact",
     "contacts_processed",
+    "contact_batches",
     "cliques_processed",
     "hello_exchanges",
     "metadata_transmissions",

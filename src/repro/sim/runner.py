@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
+from itertools import groupby
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from repro.detlint.hashseed import hash_seed_value
@@ -385,13 +386,23 @@ class Simulation:
                 if at < horizon:
                     sim.schedule(at, self._make_sync_action(at), _PRIORITY_SYNC)
 
-        for contact in self.trace:
-            if contact.start >= horizon:
-                break
-            start = contact.start
+        # Consecutive contacts at the same trace instant are scheduled
+        # as ONE batch event: the engine processes them in the same
+        # order as before (grouping only merges runs, so the stable
+        # event queue's pop order is unchanged) but can share
+        # instant-wide work — e.g. the array core's record-liveness
+        # vector — across the whole batch. ``events_contact`` therefore
+        # counts batches; ``contacts_processed`` still counts contacts.
+        def contacts_in_horizon():
+            for contact in self.trace:
+                if contact.start >= horizon:
+                    break
+                yield contact
+
+        for start, group in groupby(contacts_in_horizon(), key=lambda c: c.start):
             sim.schedule(
                 start,
-                self._make_contact_action(contact, start),
+                self._make_contacts_action(list(group), start),
                 _PRIORITY_CONTACT,
             )
 
@@ -565,9 +576,9 @@ class Simulation:
 
         return action
 
-    def _make_contact_action(self, contact, at: float):
+    def _make_contacts_action(self, contacts, at: float):
         def action() -> None:
-            self._engine.handle_contact(contact, at)
+            self._engine.handle_contacts(contacts, at)
 
         return action
 

@@ -23,7 +23,7 @@ from hypothesis import strategies as st
 from repro.core import arraycore, discovery, download
 from repro.core.arraycore import ArrayCliqueView
 from repro.core.arrays import HAVE_NUMPY, MAX_PIECE_BITS, NodeStateArrays
-from repro.core.mbt import ProtocolVariant
+from repro.core.mbt import ProtocolVariant, SchedulingMode
 from repro.core.node import NodeState
 from repro.core.strategies import AdversaryPlan
 from repro.detlint.sanitizer import result_fingerprint
@@ -271,6 +271,158 @@ class TestFingerprintEquivalence:
         assert sim.arrays is not None and not sim.arrays.coherent
         assert "pieces" in sim.arrays.incoherence_reason
         assert result_fingerprint(obj) == result_fingerprint(arr)
+
+
+def _counters_sans_sched(result) -> Dict[str, float]:
+    """Counters minus the fingerprint-ignored perf namespaces.
+
+    ``perf.sched.*`` records *which implementation ran* and
+    ``perf.time_us.*`` records wall time — both legitimately differ
+    between the kernel and the object loops. Everything else must not.
+    """
+    from repro.detlint.sanitizer import FINGERPRINT_IGNORED_PREFIXES
+
+    return {
+        key: value
+        for key, value in result.counters.items()
+        if not key.startswith(FINGERPRINT_IGNORED_PREFIXES)
+    }
+
+
+class TestSchedulingKernelEquivalence:
+    """The vectorized scheduling kernel vs the reference object loops.
+
+    Fingerprint parity between ``core="object"`` and ``core="array"``
+    (which dispatches to the kernel), and between kernel-on and
+    kernel-off under ``core="array"``, across both scheduling modes,
+    both credit policies, adversary plans and budget sizes.
+    """
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        mode=st.sampled_from(list(SchedulingMode)),
+        policy=st.sampled_from(("plain", "reputation")),
+        budget=st.sampled_from((1, 3, 8)),
+    )
+    def test_mode_policy_budget_grid(self, seed, mode, policy, budget):
+        rng = random.Random(seed)
+        trace = _random_trace(rng)
+        config = replace(
+            _random_config(rng),
+            scheduling=mode,
+            credit_policy=policy,
+            metadata_per_contact=budget,
+            files_per_contact=budget,
+        )
+        obj = Simulation(trace, replace(config, core="object")).run()
+        arr = Simulation(trace, replace(config, core="array")).run()
+        assert result_fingerprint(obj) == result_fingerprint(arr)
+        assert _counters_sans_sched(obj) == _counters_sans_sched(arr)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), mode=st.sampled_from(list(SchedulingMode)))
+    def test_kernel_off_matches_kernel_on(self, seed, mode):
+        """Flipping SCHED_KERNEL_ENABLED must not change any result.
+
+        This is the seam bench_scheduler measures across, so its two
+        sides have to be interchangeable, not just close.
+        """
+        rng = random.Random(seed)
+        trace = _random_trace(rng)
+        config = replace(_random_config(rng), scheduling=mode, core="array")
+        on = Simulation(trace, config).run()
+        assert arraycore.SCHED_KERNEL_ENABLED
+        arraycore.SCHED_KERNEL_ENABLED = False
+        try:
+            off = Simulation(trace, config).run()
+        finally:
+            arraycore.SCHED_KERNEL_ENABLED = True
+        assert result_fingerprint(on) == result_fingerprint(off)
+        assert _counters_sans_sched(on) == _counters_sans_sched(off)
+        # The sched counters are how the two runs *should* differ.
+        assert off.counters.get("perf.sched.meta_vectorized", 0) == 0
+        if on.counters.get("perf.sched.meta_vectorized", 0):
+            assert off.counters.get("perf.sched.meta_object", 0) > 0
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        name=st.sampled_from(ADVERSARIAL),
+        mode=st.sampled_from(list(SchedulingMode)),
+    )
+    def test_adversaries_under_both_modes(self, seed, name, mode):
+        """Strategy gating (turns_skipped, serves_pieces) runs inside the
+        kernel's cyclic loop — adversarial runs must stay bitwise equal."""
+        rng = random.Random(seed)
+        trace = _random_trace(rng)
+        config = replace(
+            _random_config(rng),
+            scheduling=mode,
+            adversaries=AdversaryPlan(fraction=0.5, mix=((name, 1.0),), seed=seed % 5),
+            tit_for_tat=True,
+            credit_policy="reputation",
+        )
+        obj = Simulation(trace, replace(config, core="object")).run()
+        arr = Simulation(trace, replace(config, core="array")).run()
+        assert result_fingerprint(obj) == result_fingerprint(arr)
+
+    def test_kernel_actually_runs_on_preset(self):
+        """Guard against silently testing the fallback: the dieselnet
+        preset under core="array" must dispatch to the kernel."""
+        from repro.experiments.workloads import dieselnet_base_config, dieselnet_trace
+
+        trace = dieselnet_trace("fast")
+        config = replace(dieselnet_base_config(), core="array")
+        result = Simulation(trace, config).run()
+        assert result.counters.get("perf.sched.meta_vectorized", 0) > 0
+        assert result.counters.get("perf.sched.piece_vectorized", 0) > 0
+        assert result.counters.get("perf.sched.meta_object", 0) == 0
+        assert result.counters.get("perf.sched.piece_object", 0) == 0
+
+
+def _batched_trace(seed: int) -> ContactTrace:
+    """Random trace where many contacts share the same start instant."""
+    rng = random.Random(seed)
+    n_nodes = 8
+    contacts = []
+    for _ in range(rng.randint(4, 8)):
+        start = round(rng.uniform(0.0, 2 * DAY), 1)
+        for _ in range(rng.randint(1, 4)):  # same-instant burst
+            size = rng.randint(2, 4)
+            members = frozenset(NodeId(i) for i in rng.sample(range(n_nodes), size))
+            contacts.append(Contact(start, start + rng.uniform(30.0, 600.0), members))
+    contacts.sort(key=lambda c: (c.start, c.end, sorted(c.members)))
+    return ContactTrace(contacts, name="array-batch")
+
+
+class TestContactBatching:
+    """Same-instant contacts dispatch as one batch event per instant."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_batching_is_bitwise_neutral(self, seed):
+        rng = random.Random(seed)
+        trace = _batched_trace(seed)
+        config = _random_config(rng)
+        obj = Simulation(trace, replace(config, core="object")).run()
+        arr = Simulation(trace, replace(config, core="array")).run()
+        assert result_fingerprint(obj) == result_fingerprint(arr)
+
+    def test_batches_fewer_than_contacts(self):
+        trace = _batched_trace(3)
+        starts = [c.start for c in trace]
+        distinct = len(set(starts))
+        config = SimulationConfig(files_per_day=6, num_days=2, seed=0, core="array")
+        result = Simulation(trace, config).run()
+        counters = result.counters
+        assert counters["contact_batches"] == counters["events_contact"]
+        # Bursts collapse: one event per distinct instant, not per contact.
+        assert counters["events_contact"] <= distinct
+        assert counters["contacts_processed"] >= counters["events_contact"]
+        if len(starts) > distinct:
+            # The batch cache saved at least one liveness recompute.
+            assert counters.get("perf.sched.live_reuses", 0) > 0
 
 
 class TestCoherenceGuards:
