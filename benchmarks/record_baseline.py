@@ -6,8 +6,10 @@ wire-level runtime on the DieselNet and NUS fast traces),
 saturated-catalog workload), ``bench_scheduler`` (vectorized
 scheduling kernel vs the kernel-off array core on the candidate-heavy
 workload), ``bench_parallel_sweep`` (one DieselNet sweep grid through
-:func:`repro.exec.run_many`) and ``bench_trace_gen`` (grid-vs-reference
-contact extraction plus a cold/warm disk-cache round trip) — and writes
+:func:`repro.exec.run_many`), ``bench_trace_gen`` (grid-vs-reference
+contact extraction plus a cold/warm disk-cache round trip) and
+``bench_catalog`` (DHT-sharded vs flat metadata server on the
+million-file Internet-side campaign) — and writes
 a JSON record of wall-clock times, simulator events/s and any
 ``perf.*`` instrumentation counters the engine exposes. The committed ``BENCH_core.json`` is the trajectory
 anchor every perf claim in this repository is measured against.
@@ -182,6 +184,13 @@ def measure_scheduler() -> Dict[str, Any]:
     return record
 
 
+def measure_catalog() -> Dict[str, Any]:
+    """bench_catalog: sharded-vs-flat server at the million-file scale."""
+    from bench_catalog import FULL_FILES, FULL_NODES, measure_catalog as _measure
+
+    return _measure(FULL_FILES, FULL_NODES)
+
+
 def measure(label: str, quick: bool = False) -> Dict[str, Any]:
     import os
 
@@ -200,6 +209,7 @@ def measure(label: str, quick: bool = False) -> Dict[str, Any]:
         record["bench_scheduler"] = measure_scheduler()
         record["bench_parallel_sweep"] = measure_parallel_sweep()
         record["bench_trace_gen"] = measure_trace_gen()
+        record["bench_catalog"] = measure_catalog()
     return record
 
 

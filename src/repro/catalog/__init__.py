@@ -9,6 +9,8 @@ servers. This package implements all of it.
 """
 
 from repro.catalog.adversary import FakeBatch, FakeFileFactory
+from repro.catalog.dht import KBucketTable, ShardRouter, ShardedMetadataServer
+from repro.catalog.expiry import ExpiryHeap
 from repro.catalog.files import (
     PIECE_SIZE,
     FileDescriptor,
@@ -26,6 +28,10 @@ from repro.catalog.server import FileServer, MetadataServer
 __all__ = [
     "FakeBatch",
     "FakeFileFactory",
+    "KBucketTable",
+    "ShardRouter",
+    "ShardedMetadataServer",
+    "ExpiryHeap",
     "CatalogConfig",
     "CatalogGenerator",
     "DailyBatch",

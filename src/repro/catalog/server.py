@@ -4,6 +4,14 @@ The metadata server (§IV) stores every published metadata record,
 answers ranked keyword searches, serves the most popular records for
 push distribution and keeps the network-wide popularity estimates. The
 file server hands out verified pieces to Internet-access nodes.
+
+Liveness maintenance runs through a per-server
+:class:`~repro.catalog.expiry.ExpiryHeap`: ``expire`` pops only the
+entries whose instant has passed (O(dead log n)) instead of scanning
+the whole catalog, with behavior identical to the old scan — the same
+records are removed, and the removed-URI list drains in deterministic
+``(expires_at, uri)`` order. For the sharded million-file variant of
+this interface see :mod:`repro.catalog.dht`.
 """
 
 from __future__ import annotations
@@ -11,9 +19,11 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.catalog.expiry import ExpiryHeap
 from repro.catalog.files import FileDescriptor, piece_payload
 from repro.catalog.metadata import Metadata
 from repro.catalog.popularity import PopularityTracker
+from repro.perf import PerfRecorder
 from repro.types import NodeId, Uri
 
 
@@ -26,10 +36,20 @@ class MetadataServer:
     calculated from a central server", §IV).
     """
 
-    def __init__(self, popularity_tracker: Optional[PopularityTracker] = None) -> None:
+    def __init__(
+        self,
+        popularity_tracker: Optional[PopularityTracker] = None,
+        perf: Optional[PerfRecorder] = None,
+    ) -> None:
         self._records: Dict[Uri, Metadata] = {}
         self._index: Dict[str, Set[Uri]] = defaultdict(set)
         self._tracker = popularity_tracker
+        self._expiry = ExpiryHeap()
+        #: Optional ``perf.catalog.*`` instrumentation sink. The
+        #: counters record implementation activity only (heap pops),
+        #: and are excluded from result fingerprints like the
+        #: ``perf.sched.*`` dispatch counters.
+        self._perf = perf if perf is not None else PerfRecorder()
 
     def __len__(self) -> int:
         return len(self._records)
@@ -38,27 +58,56 @@ class MetadataServer:
         return uri in self._records
 
     def publish(self, metadata: Metadata) -> None:
-        """Register a metadata record and index its name tokens."""
+        """Register a metadata record and index its name tokens.
+
+        Re-publishing a URI replaces the record; postings of tokens the
+        new name no longer carries are dropped so the index never holds
+        stale entries for live URIs.
+        """
+        previous = self._records.get(metadata.uri)
         self._records[metadata.uri] = metadata
+        self._expiry.push(metadata.uri, metadata.expires_at)
+        if previous is not None:
+            for token in previous.token_set - metadata.token_set:
+                self._drop_posting(token, metadata.uri)
         for token in metadata.token_set:
             self._index[token].add(metadata.uri)
+
+    def _drop_posting(self, token: str, uri: Uri) -> None:
+        bucket = self._index.get(token)
+        if bucket is not None:
+            bucket.discard(uri)
+            if not bucket:
+                del self._index[token]
 
     def get(self, uri: Uri) -> Optional[Metadata]:
         """Return the record for ``uri`` (with current popularity)."""
         return self._records.get(uri)
 
+    def _expires_at_of(self, uri: str) -> Optional[float]:
+        record = self._records.get(Uri(uri))
+        return None if record is None else record.expires_at
+
     def expire(self, now: float) -> List[Uri]:
-        """Drop expired records; return the URIs removed."""
-        dead = [uri for uri, md in self._records.items() if not md.is_live(now)]
-        for uri in dead:
+        """Drop expired records; return the URIs in (expiry, URI) order.
+
+        Served from the expiry heap: cost is proportional to the number
+        of dead records, not the catalog size. The returned order —
+        each record's *current* expiry instant, URI tie-break — is the
+        contract the sharded server reproduces globally.
+        """
+        pairs = []
+        for key in self._expiry.pop_due(now, self._expires_at_of):
+            uri = Uri(key)
             record = self._records.pop(uri)
-            for token in record.token_set:
-                bucket = self._index.get(token)
-                if bucket is not None:
-                    bucket.discard(uri)
-                    if not bucket:
-                        del self._index[token]
-        return dead
+            pairs.append((record.expires_at, uri))
+            for token in sorted(record.token_set):
+                self._drop_posting(token, uri)
+        if not pairs:
+            return []
+        self._perf.count("catalog.heap_expiries", len(pairs))
+        pairs.sort()
+        return [uri for __, uri in pairs]
 
     def search(
         self,
@@ -110,14 +159,17 @@ class MetadataServer:
 
         No-op when the server was built without a tracker (the
         simulations then keep the generation-time popularity, which is
-        the paper's simplified evaluation model).
+        the paper's simplified evaluation model). Records whose tracker
+        estimate equals the stored popularity are left untouched —
+        allocating a replacement record for every URI on every refresh
+        was pure garbage-collector pressure at catalog scale.
         """
         if self._tracker is None:
             return
         for uri, record in list(self._records.items()):
-            self._records[uri] = record.with_popularity(
-                self._tracker.popularity_of(uri, now)
-            )
+            estimate = self._tracker.popularity_of(uri, now)
+            if estimate != record.popularity:
+                self._records[uri] = record.with_popularity(estimate)
 
     def all_records(self, now: Optional[float] = None) -> List[Metadata]:
         """All (live, if ``now`` given) records, popularity-ranked."""
@@ -131,9 +183,13 @@ class MetadataServer:
 class FileServer:
     """Internet-side piece source for Internet-access nodes."""
 
-    def __init__(self, payload_length: int = 64) -> None:
+    def __init__(
+        self, payload_length: int = 64, perf: Optional[PerfRecorder] = None
+    ) -> None:
         self._files: Dict[Uri, FileDescriptor] = {}
         self._payload_length = payload_length
+        self._expiry = ExpiryHeap()
+        self._perf = perf if perf is not None else PerfRecorder()
 
     def __contains__(self, uri: Uri) -> bool:
         return uri in self._files
@@ -141,6 +197,7 @@ class FileServer:
     def publish(self, descriptor: FileDescriptor) -> None:
         """Make a file's pieces available for download."""
         self._files[descriptor.uri] = descriptor
+        self._expiry.push(descriptor.uri, descriptor.expires_at)
 
     def descriptor(self, uri: Uri) -> Optional[FileDescriptor]:
         return self._files.get(uri)
@@ -166,9 +223,18 @@ class FileServer:
         for index in range(descriptor.num_pieces):
             yield index, piece_payload(uri, index, self._payload_length)
 
+    def _expires_at_of(self, uri: str) -> Optional[float]:
+        descriptor = self._files.get(Uri(uri))
+        return None if descriptor is None else descriptor.expires_at
+
     def expire(self, now: float) -> List[Uri]:
-        """Drop expired files; return the URIs removed."""
-        dead = [uri for uri, d in self._files.items() if not d.is_live(now)]
-        for uri in dead:
-            del self._files[uri]
-        return dead
+        """Drop expired files; URIs returned in (expiry, URI) order."""
+        pairs = []
+        for key in self._expiry.pop_due(now, self._expires_at_of):
+            uri = Uri(key)
+            pairs.append((self._files.pop(uri).expires_at, uri))
+        if not pairs:
+            return []
+        self._perf.count("catalog.heap_expiries", len(pairs))
+        pairs.sort()
+        return [uri for __, uri in pairs]

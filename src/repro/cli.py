@@ -117,6 +117,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         credit_policy=args.credit_policy,
         profile=args.profile,
         core=args.core,
+        catalog_shards=args.catalog_shards,
+        hello_blooms=args.hello_blooms,
+        bloom_fpr=args.bloom_fpr,
         seed=args.seed,
     )
     variants = (
@@ -149,6 +152,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         if args.core == "array":
             print(f"         {_format_sched_report(result)}")
+        if args.catalog_shards > 1 or args.hello_blooms:
+            print(f"         {_format_catalog_report(result)}")
     if args.adversary_fraction > 0.0:
         for name, result in results.items():
             print(f"\n-- {name} adversary report --")
@@ -186,6 +191,33 @@ def _format_sched_report(result) -> str:
     )
     if fallbacks:
         line += f", {fallbacks} coherence fallbacks"
+    return line
+
+
+def _format_catalog_report(result) -> str:
+    """One-line catalog/bloom activity report (``perf.catalog.*``).
+
+    The sharded-vs-flat and screened-vs-open paths are observably
+    identical (sharding) or intentionally lossy (bloom false
+    positives), so this line — not the results table — is where their
+    activity shows up.
+    """
+    extra = result.extra
+
+    def n(key: str) -> int:
+        return int(extra.get(f"perf.catalog.{key}", 0))
+
+    line = (
+        f"catalog: {n('shard_lookups')} shard lookups "
+        f"({n('route_hops')} hops), {n('heap_expiries')} heap expiries, "
+        f"{n('ranked_rebuilds')} ranked rebuilds"
+    )
+    screens = n("bloom_screens")
+    if screens:
+        line += (
+            f"; blooms: {screens} screens, {n('bloom_hits')} hits, "
+            f"{n('bloom_false_positives')} false positives"
+        )
     return line
 
 
@@ -347,6 +379,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="contact hot-path implementation: the reference "
                           "object core or the numpy array core (bitwise-"
                           "identical results, not part of the fingerprint)")
+    run.add_argument("--catalog-shards", type=int, default=1,
+                     help="Internet-side catalog shards: 1 = the paper's "
+                          "flat central server, >1 = the XOR-routed DHT "
+                          "catalog (identical results, not part of the "
+                          "fingerprint)")
+    run.add_argument("--hello-blooms", action="store_true",
+                     help="attach bloom summaries of held/downloading URIs "
+                          "to hellos and screen metadata targets against "
+                          "them (changes results: false positives suppress "
+                          "some deliveries)")
+    run.add_argument("--bloom-fpr", type=float, default=0.01,
+                     help="target false-positive rate of the hello bloom "
+                          "summaries (accuracy/size knob)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true",
                      help="emit results as JSON instead of a table")

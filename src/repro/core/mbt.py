@@ -117,6 +117,20 @@ class ProtocolConfig:
     #: How long heard peer requests are remembered (seconds).
     request_memory: float = 3 * 86400.0
     payload_length: int = 64
+    #: Hello beacons carry a bloom summary of the sender's
+    #: held/downloading URIs, and the metadata phase screens candidate
+    #: targets against the summaries (§III-B's listing, compressed to
+    #: constant size — see :mod:`repro.net.bloom`). A false positive
+    #: (rate ``bloom_fpr``) makes a peer look like it already holds a
+    #: record, suppressing that delivery for the contact; negatives are
+    #: exact, so nothing else changes. Off by default: disabled runs
+    #: are bitwise-identical to builds without the feature.
+    hello_blooms: bool = False
+    #: Target false-positive rate of the hello summaries (the
+    #: documented accuracy/size knob; smaller = bigger filters).
+    bloom_fpr: float = 0.01
+    #: Seed folded into the summary hashes (derived from the run seed).
+    bloom_seed: int = 0
 
     def effective_scheduling(self) -> SchedulingMode:
         """Default: coordinator when altruistic, cyclic under TFT (§V)."""
@@ -550,7 +564,14 @@ class MobileBitTorrent:
         from repro.net.hello import derive_cliques, full_connectivity
 
         states = {node: self._states[node] for node in contact.members}
-        return derive_cliques(states, full_connectivity(contact.members), now)
+        summary_of = None
+        if self._config.hello_blooms:
+            fpr = self._config.bloom_fpr
+            seed = self._config.bloom_seed
+            summary_of = lambda state: state.hello_summary(fpr, seed)
+        return derive_cliques(
+            states, full_connectivity(contact.members), now, summary_of=summary_of
+        )
 
     def _exchange_hellos(self, states: Mapping[NodeId, NodeState], now: float) -> None:
         """Mutual hello reception; MBT also stores frequent contacts' queries."""
@@ -599,6 +620,43 @@ class MobileBitTorrent:
                 if uri in rejected:
                     cand.missing.discard(node)
 
+    def _screen_blooms(self, candidates, states: Mapping[NodeId, NodeState]) -> None:
+        """Screen candidate targets against the peers' hello summaries.
+
+        Models the information constraint of the wire protocol under
+        ``hello_blooms``: a sender only knows what a peer's bloom
+        summary says about it. Every member of a candidate is tested
+        for the candidate's URI; a positive on a *holder* is a true
+        positive (the summary correctly suppresses a redundant send), a
+        positive on a *missing* member is a false positive — the member
+        is dropped from the candidate's target sets, costing it that
+        delivery this contact (the ``bloom_fpr``-tunable accuracy/size
+        trade). Runs on the mutable scheduler copies before
+        :meth:`_hide_holdings`, so a hider's secret holding is not
+        re-revealed by its own summary and object/array parity is
+        preserved by construction.
+        """
+        fpr = self._config.bloom_fpr
+        seed = self._config.bloom_seed
+        perf = self.perf
+        from repro.net.bloom import item_hashes
+
+        for cand in candidates:
+            uri = cand.metadata.uri
+            hashes = item_hashes(uri, seed)
+            for node in sorted(cand.holders):
+                perf.count("catalog.bloom_screens")
+                if states[node].hello_summary(fpr, seed).contains_hashes(hashes):
+                    perf.count("catalog.bloom_hits")
+            for node in sorted(cand.missing):
+                perf.count("catalog.bloom_screens")
+                if states[node].hello_summary(fpr, seed).contains_hashes(hashes):
+                    perf.count("catalog.bloom_hits")
+                    perf.count("catalog.bloom_false_positives")
+                    cand.missing.discard(node)
+                    cand.own_requesters.discard(node)
+                    cand.proxy_requesters.discard(node)
+
     def _hide_holdings(self, candidates) -> None:
         """Apply under-reporting to freshly built candidates.
 
@@ -637,6 +695,8 @@ class MobileBitTorrent:
         include_foreign = self._config.variant.distributes_queries
         raw = self._metadata_candidates(states, now, include_foreign, view)
         candidates = [_MutableMetaCandidate(c) for c in raw]
+        if self._config.hello_blooms:
+            self._screen_blooms(candidates, states)
         self._hide_holdings(candidates)
         self._screen_rejected(candidates, states)
         self.perf.count("meta_candidates", len(candidates))

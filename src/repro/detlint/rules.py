@@ -27,7 +27,11 @@ from typing import Dict, FrozenSet, Tuple
 #: deliberately covers the array core too (``core/arrays.py``,
 #: ``core/arraycore.py``): the numpy hot path is held to the same
 #: determinism rules as the object path it mirrors.
-_SIM_CORE = ("repro/core", "repro/sim", "repro/net")
+#: ``repro/catalog/dht`` joins the core scope: the sharded catalog must
+#: be observably identical to the flat server, so it is held to the
+#: same iteration-order and float-comparison rules (the rest of
+#: ``repro/catalog`` stays out, as before — only RNG/time rules apply).
+_SIM_CORE = ("repro/core", "repro/sim", "repro/net", "repro/catalog/dht")
 _RNG_SCOPE = _SIM_CORE + ("repro/traces", "repro/faults", "repro/catalog", "repro/routing")
 _TIME_SCOPE = _RNG_SCOPE
 

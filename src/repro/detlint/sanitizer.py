@@ -53,8 +53,16 @@ DETCHECK_ENV = "REPRO_DETCHECK"
 #: dispatch counters (``perf.sched.*``) record *which implementation*
 #: ran (vectorized kernel vs object loops, liveness-cache reuse) — by
 #: the array core's equivalence contract they are the only counters
-#: allowed to differ between two bitwise-identical results.
-FINGERPRINT_IGNORED_PREFIXES: Tuple[str, ...] = ("perf.time_us.", "perf.sched.")
+#: allowed to differ between two bitwise-identical results. The
+#: catalog counters (``perf.catalog.*``) likewise record where server
+#: state lived (shard lookups, heap pops, cache rebuilds): the sharded
+#: catalog is observably identical to the flat server, so its activity
+#: must not enter the fingerprint either.
+FINGERPRINT_IGNORED_PREFIXES: Tuple[str, ...] = (
+    "perf.time_us.",
+    "perf.sched.",
+    "perf.catalog.",
+)
 
 
 class DeterminismError(RuntimeError):

@@ -1,0 +1,165 @@
+"""Deterministic pure-python bloom filters for hello-summary exchange.
+
+The hybridised-BitTorrent literature (see PAPERS.md: "Efficient
+Indexing of the BitTorrent Distributed Hash Table", and the
+``pybloom_live`` idiom in DHT crawlers) replaces exact held-item
+listings with constant-size bloom summaries so per-contact metadata
+exchange costs O(new items) instead of O(store). This module provides
+the summary: a fixed-seed, deterministically sized bloom filter over
+URI strings.
+
+Determinism contract
+--------------------
+Everything about a filter is a pure function of ``(items, capacity,
+fpr, seed)``:
+
+* **Sizing** uses the textbook formulas ``m = -n ln p / (ln 2)^2`` and
+  ``k = round(m/n ln 2)``, evaluated once from the declared capacity —
+  never from wall-clock state or dict iteration order.
+* **Hashing** is double hashing over one SHA-256 digest of
+  ``seed || item``: the two 64-bit halves ``h1, h2`` generate the probe
+  sequence ``(h1 + i*h2) mod m``. No per-process hash randomization is
+  involved, so two nodes (or two runs) building a filter over the same
+  items produce bit-identical filters.
+
+The false-positive rate ``fpr`` is the documented accuracy knob
+(:class:`~repro.sim.runner.SimulationConfig` ``bloom_fpr``): a positive
+membership answer may be wrong with probability ≈ ``fpr`` once the
+filter holds ``capacity`` items, a negative answer is always right.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable, Tuple
+
+#: Default target false-positive rate of hello summaries.
+DEFAULT_FPR = 0.01
+
+#: Smallest filter ever allocated (bits); keeps tiny stores honest.
+MIN_BITS = 64
+
+#: Hard cap on hash probes per membership test.
+MAX_HASHES = 16
+
+
+def item_hashes(item: str, seed: int) -> Tuple[int, int]:
+    """The ``(h1, h2)`` double-hashing pair of ``item`` under ``seed``.
+
+    Independent of any particular filter's size, so a caller testing
+    one item against many filters (the per-contact candidate screen)
+    hashes once and probes each filter with
+    :meth:`BloomFilter.contains_hashes`.
+    """
+    digest = hashlib.sha256(b"%d|%s" % (seed, item.encode("utf-8"))).digest()
+    h1 = int.from_bytes(digest[:8], "big")
+    h2 = int.from_bytes(digest[8:16], "big") | 1  # odd: full-period step
+    return h1, h2
+
+
+def bloom_parameters(capacity: int, fpr: float) -> Tuple[int, int]:
+    """Deterministic ``(num_bits, num_hashes)`` for a target load.
+
+    ``capacity`` is the number of items the filter is expected to hold
+    at the declared ``fpr``; both outputs are pure integer functions of
+    the inputs.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    if not 0.0 < fpr < 1.0:
+        raise ValueError(f"fpr must be in (0, 1), got {fpr!r}")
+    n = max(1, capacity)
+    bits = int(math.ceil(-n * math.log(fpr) / (math.log(2.0) ** 2)))
+    bits = max(MIN_BITS, bits)
+    hashes = int(round(bits / n * math.log(2.0)))
+    hashes = min(MAX_HASHES, max(1, hashes))
+    return bits, hashes
+
+
+class BloomFilter:
+    """A seeded, deterministically sized bloom filter over strings."""
+
+    __slots__ = ("num_bits", "num_hashes", "seed", "_bits", "count")
+
+    def __init__(self, capacity: int, fpr: float = DEFAULT_FPR, seed: int = 0) -> None:
+        self.num_bits, self.num_hashes = bloom_parameters(capacity, fpr)
+        self.seed = seed
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        #: Items added so far (adds of duplicates count twice; the
+        #: caller controls capacity, the filter only reports load).
+        self.count = 0
+
+    @classmethod
+    def from_items(
+        cls, items: Iterable[str], fpr: float = DEFAULT_FPR, seed: int = 0
+    ) -> "BloomFilter":
+        """Build a filter sized for exactly these items.
+
+        The iterable is materialized once to size the filter; insertion
+        order does not affect the resulting bit pattern (each item sets
+        the same bits regardless of when it is added), so callers may
+        pass sets without a determinism hazard.
+        """
+        materialized = list(items)
+        bloom = cls(len(materialized), fpr=fpr, seed=seed)
+        for item in materialized:
+            bloom.add(item)
+        return bloom
+
+    def _probes(self, item: str) -> Iterable[int]:
+        h1, h2 = item_hashes(item, self.seed)
+        m = self.num_bits
+        return ((h1 + i * h2) % m for i in range(self.num_hashes))
+
+    def add(self, item: str) -> None:
+        """Insert ``item`` (idempotent on the bit pattern)."""
+        bits = self._bits
+        for index in self._probes(item):
+            bits[index >> 3] |= 1 << (index & 7)
+        self.count += 1
+
+    def __contains__(self, item: str) -> bool:
+        bits = self._bits
+        for index in self._probes(item):
+            if not bits[index >> 3] & (1 << (index & 7)):
+                return False
+        return True
+
+    def contains_hashes(self, hashes: Tuple[int, int]) -> bool:
+        """Membership test from a precomputed :func:`item_hashes` pair.
+
+        Equivalent to ``item in self`` for the hashed item, without
+        re-running SHA-256 — the screen's one-item-many-filters path.
+        """
+        h1, h2 = hashes
+        bits = self._bits
+        m = self.num_bits
+        for i in range(self.num_hashes):
+            index = (h1 + i * h2) % m
+            if not bits[index >> 3] & (1 << (index & 7)):
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the summary (the bit array)."""
+        return len(self._bits)
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set — load diagnostic, not part of results."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.num_bits if self.num_bits else 0.0
+
+    def to_bytes(self) -> bytes:
+        """The raw bit array (for wire transport / tests)."""
+        return bytes(self._bits)
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(bits={self.num_bits}, hashes={self.num_hashes}, "
+            f"seed={self.seed}, count={self.count})"
+        )

@@ -16,24 +16,34 @@ deployment would run on radio silence + beacons.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping
+from typing import Dict, FrozenSet, List, Mapping, Optional
 
 from repro.core.node import NodeState
+from repro.net.bloom import BloomFilter
 from repro.net.messages import HELLO_NEIGHBOR_WINDOW, HelloMessage
 from repro.sim.cliques import neighbor_graph_from_hellos, partition_into_cliques
 from repro.types import NodeId
 
 
 def build_hello(
-    state: NodeState, now: float, include_foreign_queries: bool
+    state: NodeState,
+    now: float,
+    include_foreign_queries: bool,
+    summary: Optional[BloomFilter] = None,
 ) -> HelloMessage:
-    """Synthesize the hello a node would beacon at ``now``."""
+    """Synthesize the hello a node would beacon at ``now``.
+
+    ``summary`` attaches the sender's held/downloading bloom filter
+    (``ProtocolConfig.hello_blooms``); see
+    :meth:`repro.core.node.NodeState.hello_summary`.
+    """
     return HelloMessage(
         sender=state.node,
         heard=state.heard_recently(now, HELLO_NEIGHBOR_WINDOW),
         query_tokens=state.query_tokens(now, include_foreign_queries),
         downloading=state.wanted_uris(now),
         sent_at=now,
+        summary=summary,
     )
 
 
@@ -43,6 +53,7 @@ def exchange_hellos(
     now: float,
     rounds: int = 2,
     include_foreign_queries: bool = False,
+    summary_of=None,
 ) -> List[HelloMessage]:
     """Run ``rounds`` beacon rounds over a connectivity graph.
 
@@ -50,7 +61,9 @@ def exchange_hellos(
     its neighbor table. Two rounds suffice for the ``heard`` sets to
     stabilize (round one populates tables, round two advertises them),
     mirroring the 1 Hz / 5 s-window protocol at contact start.
-    Returns the final round's hellos.
+    Returns the final round's hellos. ``summary_of`` (state -> bloom
+    filter, or None) attaches each sender's held/downloading summary
+    under ``ProtocolConfig.hello_blooms``.
     """
     if rounds < 1:
         raise ValueError("need at least one beacon round")
@@ -58,7 +71,12 @@ def exchange_hellos(
     for round_index in range(rounds):
         at = now + float(round_index)
         hellos = [
-            build_hello(state, at, include_foreign_queries)
+            build_hello(
+                state,
+                at,
+                include_foreign_queries,
+                summary=None if summary_of is None else summary_of(state),
+            )
             for __, state in sorted(states.items())
         ]
         for hello in hellos:
@@ -72,6 +90,7 @@ def derive_cliques(
     states: Mapping[NodeId, NodeState],
     connectivity: Mapping[NodeId, FrozenSet[NodeId]],
     now: float,
+    summary_of=None,
 ) -> List[FrozenSet[NodeId]]:
     """Beacon, rebuild the can-hear graph from hellos, partition cliques.
 
@@ -80,7 +99,7 @@ def derive_cliques(
     member receives, so each member could compute the same partition
     locally.
     """
-    hellos = exchange_hellos(states, connectivity, now)
+    hellos = exchange_hellos(states, connectivity, now, summary_of=summary_of)
     graph = neighbor_graph_from_hellos(hellos)
     partition = partition_into_cliques(graph)
     return [clique for clique in partition if len(clique) >= 2]

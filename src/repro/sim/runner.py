@@ -147,6 +147,20 @@ class SimulationConfig:
     #: it is not part of the result, so fingerprints from either core
     #: are directly comparable.
     core: str = "object"
+    #: Catalog shards on the Internet side: 1 = the paper's flat
+    #: central server, >1 = the DHT-sharded catalog of
+    #: :mod:`repro.catalog.dht` (XOR-distance placement, per-shard
+    #: expiry heaps, cached ranked view). Pure implementation knob at
+    #: the observable level: any shard count returns the same results
+    #: as the flat server.
+    catalog_shards: int = 1
+    #: Attach bloom summaries of held/downloading URIs to hellos and
+    #: screen metadata candidates against them (see ProtocolConfig).
+    #: Changes results (false positives suppress some deliveries), so
+    #: off by default.
+    hello_blooms: bool = False
+    #: Target false-positive rate of the hello summaries.
+    bloom_fpr: float = 0.01
     #: Master seed: node roles, catalog and queries all derive from it.
     seed: int = 0
 
@@ -174,6 +188,10 @@ class SimulationConfig:
                 f"credit_policy must be one of {CREDIT_POLICIES}, "
                 f"got {self.credit_policy!r}"
             )
+        if self.catalog_shards < 1:
+            raise ValueError("catalog_shards must be >= 1")
+        if not 0.0 < self.bloom_fpr < 1.0:
+            raise ValueError("bloom_fpr must be in (0, 1)")
 
     def protocol_config(self) -> ProtocolConfig:
         return ProtocolConfig(
@@ -193,6 +211,9 @@ class SimulationConfig:
             duration_budgets=self.use_duration_budgets,
             bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
             encrypted_choking=self.encrypted_choking,
+            hello_blooms=self.hello_blooms,
+            bloom_fpr=self.bloom_fpr,
+            bloom_seed=self.seed,
         )
 
     def catalog_config(self) -> CatalogConfig:
@@ -263,8 +284,18 @@ class Simulation:
             if config.track_popularity
             else None
         )
-        self._metadata_server = MetadataServer(tracker)
-        self._file_server = FileServer()
+        # Perf first: the catalog servers record their shard lookups
+        # and heap expiries into the run's recorder.
+        self._perf = PerfRecorder(profile=config.profile)
+        if config.catalog_shards > 1:
+            from repro.catalog.dht import ShardedMetadataServer
+
+            self._metadata_server = ShardedMetadataServer(
+                config.catalog_shards, tracker, perf=self._perf
+            )
+        else:
+            self._metadata_server = MetadataServer(tracker, perf=self._perf)
+        self._file_server = FileServer(perf=self._perf)
         self._metrics = MetricsCollector(measure_from=config.warmup_days * DAY)
         self._generator = CatalogGenerator(
             config.catalog_config(), nodes, seed=config.seed, registry=registry
@@ -288,7 +319,6 @@ class Simulation:
         self._injector = (
             None if config.faults.is_clean() else FaultInjector(config.faults, config.seed)
         )
-        self._perf = PerfRecorder(profile=config.profile)
         # Array core: build the struct-of-arrays mirror over the (still
         # empty) stores and attach its observers before any catalog
         # state flows in. Raises an informative error without numpy.

@@ -124,6 +124,71 @@ class TestMetadataServer:
         server.publish(b)
         assert [r.uri for r in server.all_records()] == ["dtn://fox/b", "dtn://fox/a"]
 
+    def test_expire_deletes_emptied_token_buckets(self, registry):
+        server = MetadataServer()
+        shared = make_metadata(registry, uri="dtn://fox/a", name="news shared")
+        only = make_metadata(
+            registry, uri="dtn://fox/b", name="news unique", ttl=100.0
+        )
+        server.publish(shared)
+        server.publish(only)
+        assert server.expire(now=200.0) == [only.uri]
+        # "unique"'s posting bucket emptied and must be gone entirely;
+        # "news" still carries the surviving record.
+        assert "unique" not in server._index
+        assert server._index["news"] == {shared.uri}
+
+    def test_search_limit_zero_returns_nothing(self, registry):
+        server = MetadataServer()
+        server.publish(make_metadata(registry))
+        assert server.search(frozenset({"news"}), now=0.0, limit=0) == []
+
+    def test_top_popular_exclude_interacts_with_expiry(self, registry):
+        server = MetadataServer()
+        expired = make_metadata(
+            registry, uri="dtn://fox/a", popularity=0.9, ttl=100.0
+        )
+        excluded = make_metadata(registry, uri="dtn://fox/b", popularity=0.8)
+        survivor = make_metadata(registry, uri="dtn://fox/c", popularity=0.1)
+        server.publish(expired)
+        server.publish(excluded)
+        server.publish(survivor)
+        # Before expiry runs, liveness filtering alone must hide the
+        # dead record; the exclude set hides the live popular one.
+        top = server.top_popular(now=200.0, limit=5, exclude=frozenset({excluded.uri}))
+        assert [t.uri for t in top] == [survivor.uri]
+        assert server.expire(now=200.0) == [expired.uri]
+        top = server.top_popular(now=200.0, limit=5, exclude=frozenset({excluded.uri}))
+        assert [t.uri for t in top] == [survivor.uri]
+
+    def test_republish_drops_stale_postings(self, registry):
+        server = MetadataServer()
+        first = make_metadata(registry, uri="dtn://fox/a", name="news oldtoken")
+        second = make_metadata(registry, uri="dtn://fox/a", name="news newtoken")
+        server.publish(first)
+        server.publish(second)
+        assert server.search(frozenset({"oldtoken"}), now=0.0) == []
+        assert [r.uri for r in server.search(frozenset({"newtoken"}), now=0.0)] == [
+            "dtn://fox/a"
+        ]
+        assert len(server) == 1
+
+    def test_refresh_popularities_replaces_only_changed(self, registry):
+        from repro.catalog.popularity import PopularityTracker
+
+        tracker = PopularityTracker(population=10)
+        server = MetadataServer(tracker)
+        moved = make_metadata(registry, uri="dtn://fox/a", popularity=0.5)
+        still = make_metadata(registry, uri="dtn://fox/b", popularity=0.0)
+        server.publish(moved)
+        server.publish(still)
+        now = DAY
+        tracker.record_request(moved.uri, NodeId(1), now - 1.0)
+        before = server.get(still.uri)
+        server.refresh_popularities(now)
+        assert server.get(still.uri) is before  # unchanged record not reallocated
+        assert server.get(moved.uri).popularity == pytest.approx(0.1)
+
 
 class TestFileServer:
     def _descriptor(self, num_pieces: int = 2) -> FileDescriptor:
