@@ -448,7 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="detlint: AST determinism & invariant linter (DET001-DET005)",
+        help=(
+            "detlint: AST determinism & contract linter "
+            "(DET001-DET005, CON001-CON006 with --contracts)"
+        ),
     )
     lint.add_argument("paths", nargs="*",
                       help="files or directories (default: src/repro)")
@@ -457,6 +460,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="finding output format (github = PR annotations)")
     lint.add_argument("--no-scope", action="store_true",
                       help="apply every rule everywhere, ignoring path scopes")
+    lint.add_argument("--contracts", action="store_true",
+                      help="also enforce the cross-layer contract rules "
+                           "(counter/knob registries, import layering, "
+                           "seam parity, wire schema)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule reference table and exit")
     lint.add_argument("--quiet", action="store_true",
@@ -481,6 +488,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     argv += ["--format", args.format]
     if args.no_scope:
         argv.append("--no-scope")
+    if args.contracts:
+        argv.append("--contracts")
     if args.list_rules:
         argv.append("--list-rules")
     if args.quiet:

@@ -17,10 +17,11 @@ trade the fix-it messages assume.
 from __future__ import annotations
 
 import ast
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set, Union
 
 from repro.detlint.findings import PARSE_ERROR_RULE, Finding
 from repro.detlint.rules import (
+    CONTRACT_RULE_IDS,
     FLOAT_STATE_NAMES,
     FLOAT_STATE_SUFFIXES,
     ORDER_PRESERVING_WRAPPERS,
@@ -353,7 +354,9 @@ class _DetVisitor(ast.NodeVisitor):
 
     # -- DET005 (mutable defaults) ----------------------------------------------
 
-    def _check_defaults(self, node) -> None:
+    def _check_defaults(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+    ) -> None:
         args = node.args
         for default in [*args.defaults, *args.kw_defaults]:
             if default is None:
@@ -386,15 +389,20 @@ def lint_source(
     *,
     all_rules: bool = False,
     suppressions: bool = True,
+    contracts: bool = False,
 ) -> List[Finding]:
     """Lint one source text as if it lived at ``path``.
 
     Applies path scoping (unless ``all_rules``) and suppression
     comments (unless ``suppressions=False``), returning findings
-    sorted by location.
+    sorted by location. The CON contract rules only participate when
+    ``contracts=True`` (they need the registries of
+    :mod:`repro.contracts`, which stays unimported otherwise).
     """
     active = set(rules_for_path(path, all_rules=all_rules))
-    if not active:
+    contract_active = active & set(CONTRACT_RULE_IDS) if contracts else set()
+    active -= set(CONTRACT_RULE_IDS)
+    if not active and not contract_active:
         return []
     try:
         tree = ast.parse(source, filename=path)
@@ -412,6 +420,11 @@ def lint_source(
     visitor = _DetVisitor(path, active)
     visitor.visit(tree)
     findings = visitor.findings
+    if contract_active:
+        # Deferred so plain DET linting never imports the registries.
+        from repro.contracts.checks import lint_tree_contracts
+
+        findings = findings + lint_tree_contracts(tree, path, contract_active)
     if suppressions:
         smap = SuppressionMap(source)
         findings = [f for f in findings if not smap.suppresses(f.line, f.rule)]

@@ -31,9 +31,25 @@ from typing import Dict, FrozenSet, Tuple
 #: be observably identical to the flat server, so it is held to the
 #: same iteration-order and float-comparison rules (the rest of
 #: ``repro/catalog`` stays out, as before — only RNG/time rules apply).
-_SIM_CORE = ("repro/core", "repro/sim", "repro/net", "repro/catalog/dht")
-_RNG_SCOPE = _SIM_CORE + ("repro/traces", "repro/faults", "repro/catalog", "repro/routing")
+#: ``repro/runtime`` (the frame-level harness replays the same
+#: protocol) and ``repro/routing`` (baseline routers share the trace
+#: replay) are full core members too.
+_SIM_CORE = (
+    "repro/core",
+    "repro/sim",
+    "repro/net",
+    "repro/catalog/dht",
+    "repro/runtime",
+    "repro/routing",
+)
+_RNG_SCOPE = _SIM_CORE + ("repro/traces", "repro/faults", "repro/catalog")
 _TIME_SCOPE = _RNG_SCOPE
+
+#: Path fragment of the whole package: the cross-layer contract rules
+#: (CON001–CON006) apply to any file that resolves into ``repro``,
+#: live tree or corpus mini-tree alike — but only when contracts
+#: checking is switched on (``--contracts``).
+_CONTRACT_SCOPE = ("repro/",)
 
 #: Callable names treated as canonical-ordering helpers: iterating
 #: their return value is deterministic even when the input was a set.
@@ -133,12 +149,106 @@ RULES: Dict[str, Rule] = {
                 "default to None and construct inside the function; pass "
                 "literal pop defaults so no shared object escapes"
             ),
-            scopes=("repro/core", "repro/net"),
+            scopes=("repro/core", "repro/net", "repro/runtime", "repro/routing"),
+        ),
+        Rule(
+            id="CON001",
+            title="unregistered counter key",
+            summary=(
+                "counter-key literal (perf./faults./adversary./detcheck.) "
+                "not declared in the contracts counter registry; also "
+                "COUNTER_KEYS drift against the registry"
+            ),
+            fixit=(
+                "register the key (or prefix) in repro.contracts.counters "
+                "with its fingerprint class, and mirror surfaced keys in "
+                "sim.metrics.COUNTER_KEYS"
+            ),
+            scopes=_CONTRACT_SCOPE,
+        ),
+        Rule(
+            id="CON002",
+            title="fingerprint-exclusion drift",
+            summary=(
+                "sanitizer FINGERPRINT_IGNORED_PREFIXES disagrees with the "
+                "registry's fingerprint-excluded counter prefixes"
+            ),
+            fixit=(
+                "keep detlint.sanitizer.FINGERPRINT_IGNORED_PREFIXES equal "
+                "to repro.contracts.counters.excluded_prefixes()"
+            ),
+            scopes=_CONTRACT_SCOPE,
+        ),
+        Rule(
+            id="CON003",
+            title="config knob coverage",
+            summary=(
+                "SimulationConfig field unregistered, missing its declared "
+                "CLI flag in cli.py, or missing its docs/API.md anchor"
+            ),
+            fixit=(
+                "register the field in repro.contracts.knobs with its CLI "
+                "flags (or an api_only rationale) and document it under its "
+                "backticked name in docs/API.md"
+            ),
+            scopes=_CONTRACT_SCOPE,
+        ),
+        Rule(
+            id="CON004",
+            title="import-layering violation",
+            summary=(
+                "module-level import of a repro package outside the "
+                "importer's allowance in the layer registry"
+            ),
+            fixit=(
+                "move the import inside the function that needs it, or "
+                "widen repro.contracts.layers.LAYERS if the layering "
+                "genuinely changed"
+            ),
+            scopes=_CONTRACT_SCOPE,
+        ),
+        Rule(
+            id="CON005",
+            title="seam-parity drift",
+            summary=(
+                "dual object/array (or reference-twin) implementation "
+                "missing, or its signature diverging from its counterpart"
+            ),
+            fixit=(
+                "restore the counterpart listed in "
+                "repro.contracts.seams.SEAM_REGISTRY or re-align the "
+                "parameter names (the seam is duck-typed)"
+            ),
+            scopes=_CONTRACT_SCOPE,
+        ),
+        Rule(
+            id="CON006",
+            title="wire-schema drift",
+            summary=(
+                "net.messages dataclass fields or runtime.codec frame keys "
+                "diverge from the registered wire schema"
+            ),
+            fixit=(
+                "update repro.contracts.wire together with BOTH the "
+                "message dataclasses and the codec builders/readers"
+            ),
+            scopes=_CONTRACT_SCOPE,
         ),
     )
 }
 
 ALL_RULE_IDS: Tuple[str, ...] = tuple(sorted(RULES))
+
+#: The contract-rule family: scoped like any other rule, but only
+#: active when contracts checking is requested (``--contracts``).
+CONTRACT_RULE_IDS: Tuple[str, ...] = tuple(
+    rule_id for rule_id in ALL_RULE_IDS if rule_id.startswith("CON")
+)
+
+#: The determinism-rule family (always active).
+DET_RULE_IDS: Tuple[str, ...] = tuple(
+    rule_id for rule_id in ALL_RULE_IDS if rule_id.startswith("DET")
+)
 
 
 def _normalized(path: str) -> str:

@@ -21,7 +21,17 @@ import argparse
 import os
 import sys
 from pathlib import Path
-from typing import Iterable, List, NamedTuple, Optional, Sequence
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
 
 from repro.detlint.checker import lint_source
 from repro.detlint.findings import FORMATTERS, Finding
@@ -67,26 +77,73 @@ def iter_python_files(paths: Sequence[str]) -> List[Path]:
     return sorted(set(out))
 
 
-def lint_paths(paths: Sequence[str], *, all_rules: bool = False) -> LintReport:
-    """Lint every Python file under ``paths``."""
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    all_rules: bool = False,
+    contracts: bool = False,
+) -> LintReport:
+    """Lint every Python file under ``paths``.
+
+    ``contracts=True`` additionally enables the CON contract-rule
+    family: the per-file rules inside :func:`lint_source`, plus the
+    project-level drift checks (knob/counter registries, seam parity,
+    wire schema) run once per discovered ``repro`` package root.
+    """
     findings: List[Finding] = []
     suppressed = 0
     files = iter_python_files(paths)
     for path in files:
         source = path.read_text(encoding="utf-8")
         posix = path.as_posix()
-        file_findings = lint_source(source, posix, all_rules=all_rules)
+        file_findings = lint_source(
+            source, posix, all_rules=all_rules, contracts=contracts
+        )
         findings.extend(file_findings)
         # Count matched suppressions for the summary line: a second,
         # suppression-free pass would re-run the visitor, so instead
         # diff against the unsuppressed finding count.
-        raw = lint_source(source, posix, all_rules=all_rules, suppressions=False)
+        raw = lint_source(
+            source, posix, all_rules=all_rules,
+            suppressions=False, contracts=contracts,
+        )
         suppressed += len(raw) - len(file_findings)
+    if contracts:
+        for finding, was_suppressed in _project_contract_findings(files):
+            if was_suppressed:
+                suppressed += 1
+            else:
+                findings.append(finding)
     return LintReport(
         findings=sorted(findings),
         files_checked=len(files),
         suppressions_matched=suppressed,
     )
+
+
+def _project_contract_findings(
+    files: Sequence[Path],
+) -> Iterator[Tuple[Finding, bool]]:
+    """Project-level CON findings, suppression-filtered.
+
+    Cross-file findings anchor at a concrete file/line (the drifted
+    assignment, the undocumented config field), so the ordinary
+    ``# detlint: ignore[...]`` comment machinery applies — the anchor
+    file's suppression map decides.
+    """
+    from repro.contracts.checks import project_findings
+    from repro.detlint.suppressions import SuppressionMap
+
+    maps: Dict[str, Optional[SuppressionMap]] = {}
+    for finding in project_findings(files):
+        if finding.path not in maps:
+            try:
+                source = Path(finding.path).read_text(encoding="utf-8")
+                maps[finding.path] = SuppressionMap(source)
+            except OSError:
+                maps[finding.path] = None
+        smap = maps[finding.path]
+        yield finding, bool(smap and smap.suppresses(finding.line, finding.rule))
 
 
 def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
@@ -111,6 +168,15 @@ def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
         help="apply every rule to every file, ignoring path scoping",
     )
     parser.add_argument(
+        "--contracts",
+        action="store_true",
+        help=(
+            "additionally enforce the cross-layer contract rules "
+            "(CON001-CON006: counter/knob registries, import layering, "
+            "seam parity, wire schema)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule reference table and exit",
@@ -127,7 +193,7 @@ def main(
     argv: Optional[Sequence[str]] = None,
     *,
     prog: str = "repro lint",
-    stream=None,
+    stream: Optional[TextIO] = None,
 ) -> int:
     """Run the linter; returns the process exit code."""
     stream = stream if stream is not None else sys.stdout
@@ -146,7 +212,9 @@ def main(
             return 2
         paths = [DEFAULT_TARGET]
     try:
-        report = lint_paths(paths, all_rules=args.no_scope)
+        report = lint_paths(
+            paths, all_rules=args.no_scope, contracts=args.contracts
+        )
     except FileNotFoundError as exc:
         print(f"{prog}: {exc}", file=sys.stderr)
         return 2
@@ -167,7 +235,7 @@ def main(
     return report.exit_code
 
 
-def _iter_sources(paths: Sequence[str]) -> Iterable:
+def _iter_sources(paths: Sequence[str]) -> Iterable[Tuple[str, str]]:
     """(source, posix-path) pairs for ``paths`` (test helper)."""
     for path in iter_python_files(paths):
         yield path.read_text(encoding="utf-8"), path.as_posix()

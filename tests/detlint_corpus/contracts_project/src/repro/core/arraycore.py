@@ -1,0 +1,15 @@
+"""CON005 fixture: array twin with a diverged parameter set.
+
+``build_metadata_candidates`` here takes ``{view, state, now}`` while
+the object builder in ``discovery.py`` takes ``{state, now, pairs}``;
+``core/download.py`` is absent entirely, so the piece-kernel seam also
+reports its missing counterpart.
+"""
+
+
+def build_metadata_candidates(view, state, now):
+    return [(view, state, now)]
+
+
+def build_piece_candidates(view, state, now):
+    return [(view, state, now)]

@@ -1,0 +1,7 @@
+"""CON004 fixture: the core layer reaching up into the executor."""
+
+from repro.exec import run_many  # noqa: F401  (layer violation under test)
+
+
+def sweep(specs):
+    return run_many(specs, jobs=2)

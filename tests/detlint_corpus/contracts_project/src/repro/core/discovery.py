@@ -1,0 +1,14 @@
+"""CON005 fixture: metadata builder drifted from both its twins.
+
+The array twin in ``arraycore.py`` takes a different parameter set,
+and the naive reference below is no longer an ordered prefix of the
+optimized signature.
+"""
+
+
+def build_metadata_candidates(state, now, pairs):
+    return [(state, now, pair) for pair in pairs]
+
+
+def build_metadata_candidates_reference(state, extra):
+    return [(state, extra)]

@@ -1,0 +1,60 @@
+"""CON006 fixture: wire codec with ``metadata_to_fields`` dropping a key.
+
+Every codec entry point is present so only the intended drift fires:
+``metadata_to_fields`` omits ``signature`` from its emitted record.
+"""
+
+
+def encode_frame(kind, sender, sent_at, body):
+    frame = {"type": kind, "sender": sender, "sent_at": sent_at}
+    frame.update(body)
+    return frame
+
+
+def metadata_to_fields(record):
+    return {
+        "uri": record.uri,
+        "name": record.name,
+        "publisher": record.publisher,
+        "description": record.description,
+        "checksums": list(record.checksums),
+        "size_bytes": record.size_bytes,
+        "created_at": record.created_at,
+        "ttl": record.ttl,
+        "popularity": record.popularity,
+    }
+
+
+def metadata_from_fields(fields):
+    return (
+        fields["uri"],
+        fields["name"],
+        fields["publisher"],
+        fields["description"],
+        fields["checksums"],
+        fields["size_bytes"],
+        fields["created_at"],
+        fields["ttl"],
+        fields["popularity"],
+        fields["signature"],
+    )
+
+
+def build_hello(heard, query_tokens, carried_query_tokens, downloading,
+                held_uris, have):
+    return {
+        "heard": heard,
+        "query_tokens": query_tokens,
+        "carried_query_tokens": carried_query_tokens,
+        "downloading": downloading,
+        "held_uris": held_uris,
+        "have": have,
+    }
+
+
+def build_metadata_frame(record):
+    return {"record": record}
+
+
+def build_piece_frame(record, index, payload_b64):
+    return {"record": record, "index": index, "payload_b64": payload_b64}

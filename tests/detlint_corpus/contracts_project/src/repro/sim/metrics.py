@@ -1,0 +1,12 @@
+"""CON001 cross-check fixture: COUNTER_KEYS drifted from the registry.
+
+``bogus_counter`` is listed but not registered as surfaced, and the
+real surfaced keys are missing — both directions must fire.
+"""
+
+from typing import Tuple
+
+COUNTER_KEYS: Tuple[str, ...] = (
+    "events",
+    "bogus_counter",
+)

@@ -1,0 +1,14 @@
+"""CON003 fixture: a SimulationConfig with an unregistered knob.
+
+``mystery_knob`` is not in ``repro.contracts.knobs.KNOB_REGISTRY``,
+so CON003 must flag it (and, since this mini-tree's config lacks the
+live fields, the aggregated stale-registry finding fires too).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    mystery_knob: int = 0
+    seed: int = 0

@@ -226,7 +226,19 @@ class TestScoping:
         for rule in RULES.values():
             assert rule.scopes, rule.id
             assert rule.fixit, rule.id
-        assert ALL_RULE_IDS == ("DET001", "DET002", "DET003", "DET004", "DET005")
+        assert ALL_RULE_IDS == (
+            "CON001",
+            "CON002",
+            "CON003",
+            "CON004",
+            "CON005",
+            "CON006",
+            "DET001",
+            "DET002",
+            "DET003",
+            "DET004",
+            "DET005",
+        )
 
 
 class TestParseErrors:
